@@ -1,0 +1,90 @@
+//! Ablation — three spreading-code families: Gold vs 2NC vs Kasami.
+//!
+//! Extends Fig. 9(b) with the small-set Kasami family (a reproduction
+//! extension): Kasami meets the Welch bound on cross-correlation
+//! (s = 2^{n/2}+1, tighter than Gold's t = 2^{n/2+1}+1 at the same
+//! length), at the price of a much smaller family. The bench decodes 2–5
+//! concurrent tags under each family and prints the corresponding
+//! correlation analyses.
+
+use cbma::codes::{
+    CodeFamily, CorrelationReport, FamilyKind, GoldFamily, KasamiFamily, TwoNcFamily,
+};
+use cbma::prelude::*;
+use cbma_bench::{balanced_positions, header, pct, Profile};
+
+fn fer(family: FamilyKind, n: usize, packets: usize, seed: u64) -> f64 {
+    let mut scenario = Scenario::paper_default(balanced_positions(n)).with_seed(seed);
+    scenario.family = family;
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    engine.run_rounds(packets).fer()
+}
+
+fn main() {
+    header(
+        "ablation: code families",
+        "reproduction extension (Fig. 9(b) + Kasami)",
+        "decode error per family, 2–5 concurrent tags (Gold-31 / 2NC-32 / Kasami-63)",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(600);
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "tags", "gold(31)", "2nc(32)", "kasami(63)"
+    );
+    let counts: Vec<usize> = vec![2, 3, 4, 5];
+    let rows = cbma::sim::sweep::parallel_sweep(&counts, |&n| {
+        (
+            n,
+            fer(
+                FamilyKind::Gold { degree: 5 },
+                n,
+                packets,
+                0xC0DE + n as u64,
+            ),
+            fer(
+                FamilyKind::TwoNc { users: 16 },
+                n,
+                packets,
+                0xC0DE + n as u64,
+            ),
+            fer(
+                FamilyKind::Kasami { degree: 6 },
+                n,
+                packets,
+                0xC0DE + n as u64,
+            ),
+        )
+    });
+    for (n, g, t, k) in rows {
+        println!("{:>8} {:>12} {:>12} {:>12}", n, pct(g), pct(t), pct(k));
+    }
+
+    println!("\ncorrelation analyses (5 codes each):");
+    for (label, report) in [
+        (
+            "gold-31 ",
+            CorrelationReport::analyze(&GoldFamily::new(5).unwrap().codes(5).unwrap()),
+        ),
+        (
+            "2nc-32  ",
+            CorrelationReport::analyze(&TwoNcFamily::new(16).unwrap().codes(5).unwrap()),
+        ),
+        (
+            "kasami63",
+            CorrelationReport::analyze(&KasamiFamily::new(6).unwrap().codes(5).unwrap()),
+        ),
+    ] {
+        println!("  {label}: {report}");
+    }
+    println!("\nreading: 2NC wins at full contention — exactly zero aligned cross-");
+    println!("correlation beats everything when tags are near-aligned. Kasami's");
+    println!("uniformly tight bound (0.143) does not pay off here: its 63-chip");
+    println!("words double the per-bit airtime, so each bit integrates twice the");
+    println!("oscillator-drift rotation, which costs more than the tighter bound");
+    println!("saves. Gold shows the same 5-tag jump as the paper's Fig. 9(b).");
+}

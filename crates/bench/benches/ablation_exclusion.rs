@@ -1,0 +1,79 @@
+//! Ablation — the node-selection exclusion radius.
+//!
+//! §V-C: "once a tag is selected, we exclude those tags near to this
+//! selected tag" — the paper motivates λ/2 (mutual coupling). This bench
+//! sweeps the exclusion radius used when accepting replacement positions
+//! and measures the post-selection error of deployments engineered to
+//! tempt the selector into clustering (all the best candidate positions
+//! sit next to each other near the field maximum).
+
+use cbma::prelude::*;
+use cbma::sim::adaptation::Adapter;
+use cbma_bench::{header, pct, Profile};
+
+fn run(radius_m: f64, packets: usize, seed: u64) -> f64 {
+    // One good tag, two hopeless corner tags; the candidate pool is a
+    // tight cluster of excellent positions 3–6 cm apart — accepting more
+    // than one of them puts the replacements inside each other's coupling
+    // range.
+    let scenario = Scenario::paper_default(vec![
+        Point::new(0.0, 0.35),
+        Point::new(1.8, 2.8),
+        Point::new(-1.8, 2.8),
+    ])
+    .with_seed(seed);
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    // Override the selector's radius through the link carrier? The
+    // NodeSelector derives λ/2 from the carrier; emulate other radii by
+    // filtering the pool ourselves: candidates closer than `radius_m` to
+    // an already-chosen position are removed before selection.
+    let pool_raw = vec![
+        Point::new(0.22, -0.38),
+        Point::new(0.25, -0.40),
+        Point::new(0.28, -0.36),
+        Point::new(0.24, -0.33),
+        Point::new(-0.3, 0.42),
+    ];
+    // Greedy filter at the requested radius (mirrors the selector's
+    // exclusion rule; radius 0 disables it).
+    let mut pool: Vec<Point> = Vec::new();
+    for p in pool_raw {
+        if pool.iter().all(|q| q.distance_to(p) >= radius_m) {
+            pool.push(p);
+        }
+    }
+    let adapter = Adapter::paper_default(packets.max(10) / 2);
+    let _ = adapter.run_with_node_selection(&mut engine, &pool);
+    engine.run_rounds(packets).fer()
+}
+
+fn main() {
+    header(
+        "ablation: exclusion radius",
+        "paper §V-C (λ/2 ≈ 7.5 cm at 2 GHz)",
+        "post-node-selection error vs candidate exclusion radius",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(600);
+    let seeds = 6u64;
+
+    println!("{:>14} {:>12}", "radius (cm)", "error rate");
+    let radii: Vec<f64> = vec![0.0, 0.02, 0.05, 0.075, 0.12, 0.2];
+    let rows = cbma::sim::sweep::parallel_sweep(&radii, |&r| {
+        let fer = (0..seeds)
+            .map(|s| run(r, packets, 0xE8C1 + s * 97))
+            .sum::<f64>()
+            / seeds as f64;
+        (r, fer)
+    });
+    for (r, fer) in rows {
+        println!("{:>14.1} {:>12}", r * 100.0, pct(fer));
+    }
+    println!("\nreading: the exclusion radius is a trade, and which side wins");
+    println!("depends on the candidate pool. Here the pool is deliberately tight");
+    println!("(good spots 3–6 cm apart): enforcing λ/2 ≈ 7.5 cm leaves too few");
+    println!("candidates and a tag stays in its dead corner — worse than accepting");
+    println!("some mutual coupling. With a rich pool the λ/2 rule is free");
+    println!("insurance; §V-C implicitly assumes that regime (\"many tags");
+    println!("distributed in the environment\").");
+}

@@ -1,0 +1,52 @@
+//! Ablation — the paper's envelope receiver vs this library's coherent
+//! receiver.
+//!
+//! The paper computes P(t) = √(I²+Q²) before decoding (§V-B); this
+//! reproduction adds a coherent receiver with preamble channel estimation
+//! and decision-directed phase tracking. The ablation quantifies what
+//! that buys: the envelope statistic is phase-blind, so superposed tags
+//! destructively interfere at unlucky phase geometries, while the
+//! coherent statistic separates them. This is the reproduction's main
+//! engineering finding — most of the near-far fragility the paper fixes
+//! with power control is an artifact of envelope-first decoding.
+
+use cbma::prelude::*;
+use cbma::rx::DecoderKind;
+use cbma_bench::{balanced_positions, header, pct, Profile};
+
+fn fer(kind: DecoderKind, n: usize, packets: usize, seed: u64) -> f64 {
+    let mut scenario = Scenario::paper_default(balanced_positions(n)).with_seed(seed);
+    scenario.rx_config.decoder_kind = kind;
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    engine.run_rounds(packets).fer()
+}
+
+fn main() {
+    header(
+        "ablation",
+        "reproduction extension (DESIGN.md)",
+        "envelope-first receiver (paper §V-B) vs coherent receiver, 1–5 tags",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(600);
+
+    println!("{:>8} {:>14} {:>14}", "tags", "envelope", "coherent");
+    let counts: Vec<usize> = vec![1, 2, 3, 4, 5];
+    let rows = cbma::sim::sweep::parallel_sweep(&counts, |&n| {
+        (
+            n,
+            fer(DecoderKind::Envelope, n, packets, 0xAB1A + n as u64),
+            fer(DecoderKind::Coherent, n, packets, 0xAB1A + n as u64),
+        )
+    });
+    for (n, env, coh) in rows {
+        println!("{:>8} {:>14} {:>14}", n, pct(env), pct(coh));
+    }
+    println!("\nreading: single-tag performance matches (phase does not matter");
+    println!("without superposition); from 2 tags up, the envelope receiver loses");
+    println!("frames whenever inter-tag phases approach cancellation, which is the");
+    println!("regime the paper's power-control loop spends its cycles fighting.");
+}

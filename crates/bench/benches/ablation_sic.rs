@@ -1,0 +1,93 @@
+//! Ablation — successive interference cancellation (reproduction
+//! extension) vs tag-side power control.
+//!
+//! The paper fixes near-far at the *tag* (impedance power control); SIC
+//! fixes it at the *receiver*. This bench sweeps the two-tag power
+//! difference (the Table II axis) and compares: no mitigation, SIC only,
+//! power control only, and both. SIC rescues deep imbalances that exceed
+//! the tag's 7 dB |ΔΓ| actuation range.
+
+use cbma::prelude::*;
+use cbma::sim::adaptation::Adapter;
+use cbma_bench::{header, pct, Profile};
+
+fn engine(diff_target: f64, sic: bool, seed: u64) -> Engine {
+    // Same controlled geometry as the Table II bench: tag 2 slides along
+    // the symmetry axis.
+    let link = BackscatterLink::paper_default();
+    let es = Point::from_cm(-50.0, 0.0);
+    let rx = Point::from_cm(50.0, 0.0);
+    let p_ref = link
+        .received_power(es, Point::new(0.0, -0.40), rx)
+        .to_milliwatts();
+    let (mut lo, mut hi) = (0.40f64, 3.5f64);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        let p = link
+            .received_power(es, Point::new(0.0, -mid), rx)
+            .to_milliwatts();
+        if 1.0 - p / p_ref < diff_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let y2 = (lo + hi) / 2.0;
+
+    let mut scenario =
+        Scenario::paper_default(vec![Point::new(0.0, 0.40), Point::new(0.0, -y2)]).with_seed(seed);
+    scenario.shadowing = ShadowingModel::disabled();
+    if sic {
+        scenario.rx_config.sic_passes = 2;
+    }
+    let mut e = Engine::new(scenario).expect("valid scenario");
+    for t in e.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    e
+}
+
+fn main() {
+    header(
+        "ablation: SIC",
+        "reproduction extension (DESIGN.md)",
+        "2-tag error vs power difference: none / SIC / power control / both",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(600);
+
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "difference", "none", "sic", "pc", "sic+pc"
+    );
+    let targets: Vec<f64> = vec![0.0, 0.5, 0.8, 0.9, 0.95, 0.97];
+    let rows = cbma::sim::sweep::parallel_sweep(&targets, |&t| {
+        let seed = 0x51C0 + (t * 100.0) as u64;
+        let none = engine(t, false, seed).run_rounds(packets).fer();
+        let sic = engine(t, true, seed).run_rounds(packets).fer();
+        let pc = {
+            let mut e = engine(t, false, seed);
+            let _ = Adapter::paper_default(packets.max(10) / 2).run_power_control(&mut e);
+            e.run_rounds(packets).fer()
+        };
+        let both = {
+            let mut e = engine(t, true, seed);
+            let _ = Adapter::paper_default(packets.max(10) / 2).run_power_control(&mut e);
+            e.run_rounds(packets).fer()
+        };
+        (t, none, sic, pc, both)
+    });
+    for (t, none, sic, pc, both) in rows {
+        println!(
+            "{:>12} {:>10} {:>10} {:>10} {:>10}",
+            pct(t),
+            pct(none),
+            pct(sic),
+            pct(pc),
+            pct(both)
+        );
+    }
+    println!("\nreading: power control (7 dB of |ΔΓ| actuation) helps moderate");
+    println!("imbalance; SIC keeps the weak tag decodable far past the actuation");
+    println!("range; combining both is strictly best.");
+}

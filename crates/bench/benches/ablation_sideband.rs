@@ -1,0 +1,50 @@
+//! Ablation — double- vs single-sideband backscatter (paper footnote 1 /
+//! ref. [10]).
+//!
+//! A square-wave subcarrier mirrors the excitation into both f_c ± Δf and
+//! the receiver hears only one copy; single-sideband modulation recovers
+//! that 3 dB. The bench sweeps excitation power at the sensitivity edge,
+//! where 3 dB moves the error knee by one 5 dB step.
+
+use cbma::prelude::*;
+use cbma_bench::{balanced_positions, header, pct, Profile};
+
+fn fer(tx_dbm: f64, ssb: bool, packets: usize) -> f64 {
+    let mut scenario =
+        Scenario::paper_default(balanced_positions(3)).with_seed(0x55B0 + tx_dbm as u64);
+    scenario.link = scenario.link.with_tx_power(Dbm::new(tx_dbm));
+    scenario.noise = NoiseModel::new(Db::new(6.0), Dbm::new(-73.0));
+    if ssb {
+        scenario.link = scenario.link.with_single_sideband();
+    }
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    engine.run_rounds(packets).fer()
+}
+
+fn main() {
+    header(
+        "ablation: sideband",
+        "paper footnote 1 / ref. [10]",
+        "3-tag error vs excitation power: double vs single sideband",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(600);
+
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "Pt (dBm)", "double sideband", "single sideband"
+    );
+    let powers: Vec<f64> = vec![-2.0, 0.0, 2.0, 5.0, 8.0, 12.0];
+    let rows = cbma::sim::sweep::parallel_sweep(&powers, |&p| {
+        (p, fer(p, false, packets), fer(p, true, packets))
+    });
+    for (p, dsb, ssb) in rows {
+        println!("{:>10} {:>16} {:>16}", p, pct(dsb), pct(ssb));
+    }
+    println!("\nreading: the single-sideband curve tracks the double-sideband one");
+    println!("shifted left by ≈3 dB — ref. [10]'s quadrature switching buys exactly");
+    println!("the mirror image back.");
+}

@@ -1,0 +1,50 @@
+//! Fig. 11 — error rate vs inter-tag clock delay.
+//!
+//! §VII-C.2: two tags; tag 1's clock is the reference and tag 2's
+//! transmission is delayed by a controlled amount. The paper observes the
+//! lowest error at perfect synchronization and a jump to a ≈4 % plateau
+//! once any delay exists.
+
+use cbma::prelude::*;
+use cbma_bench::{header, pct, Profile};
+
+fn main() {
+    header(
+        "Fig. 11",
+        "paper §VII-C.2, Fig. 11",
+        "2-tag error rate vs tag-2 clock delay (tag 1 is the reference)",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(1000);
+    let spc = PhyProfile::paper_default().samples_per_chip() as f64;
+
+    // Delays in chips (the natural unit of misalignment); sub-chip and
+    // multi-chip offsets both appear in the sweep.
+    let delays: Vec<f64> = vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0];
+
+    println!("{:>14} {:>12}", "delay (chips)", "error rate");
+    let rows = cbma::sim::sweep::parallel_sweep(&delays, |&d| {
+        let mut scenario =
+            Scenario::paper_default(vec![Point::new(0.0, 0.40), Point::new(0.0, -0.40)])
+                .with_seed(0xF16_1100);
+        // Controlled clocks: tag 1 synchronized, tag 2 at the fixed delay.
+        scenario.clock = ClockModel::synchronized();
+        scenario.clock_overrides = vec![
+            Some(ClockModel::synchronized()),
+            Some(ClockModel::fixed(d * spc)),
+        ];
+        let mut engine = Engine::new(scenario).expect("valid scenario");
+        for t in engine.tags_mut() {
+            t.set_impedance(ImpedanceState::Open);
+        }
+        (d, engine.run_rounds(packets).fer())
+    });
+    for (d, fer) in rows {
+        println!("{:>14} {:>12}", d, pct(fer));
+    }
+    println!("\npaper shape: minimum error at perfect synchronization; with any");
+    println!("delay the error rises and fluctuates around ≈4 %.");
+    println!("deviation: our candidate-validating correlator tolerates offsets up");
+    println!("to its search horizon (≈8 chips, configurable), beyond which the");
+    println!("error rises sharply — see EXPERIMENTS.md.");
+}

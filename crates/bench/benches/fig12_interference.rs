@@ -1,0 +1,70 @@
+//! Fig. 12 — correct packet reception rate under working conditions.
+//!
+//! §VII-C.3: fixed tag locations, four cases: (i) no interference,
+//! (ii) WiFi interference, (iii) Bluetooth interference, (iv) OFDM signal
+//! as the excitation. WiFi/Bluetooth cost little (CSMA/CA and FHSS leave
+//! the channel mostly free); OFDM excitation drops reception
+//! significantly because the tags cannot tell when there is a signal to
+//! reflect.
+
+use cbma::prelude::*;
+use cbma_bench::{header, pct, Profile};
+
+fn measure(scenario: Scenario, packets: usize) -> f64 {
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    1.0 - engine.run_rounds(packets).fer()
+}
+
+fn main() {
+    header(
+        "Fig. 12",
+        "paper §VII-C.3, Fig. 12",
+        "correct packet reception rate under four working conditions (3 tags)",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(1000);
+
+    let base = Scenario::paper_default(vec![
+        Point::new(0.0, 0.40),
+        Point::new(0.0, -0.45),
+        Point::new(0.2, 0.60),
+    ])
+    .with_seed(0xF16_1200);
+
+    let cases: Vec<(&str, Scenario)> = vec![
+        ("no interference", base.clone()),
+        ("wifi interference", {
+            let mut s = base.clone();
+            s.interference = InterferenceModel::wifi(Dbm::new(-62.0), 1500);
+            s
+        }),
+        ("bluetooth interference", {
+            let mut s = base.clone();
+            s.interference = InterferenceModel::bluetooth(Dbm::new(-62.0), 5000);
+            s
+        }),
+        ("ofdm excitation", {
+            let mut s = base.clone();
+            // Intermittent OFDM traffic: on the air 60 % of the time in
+            // multi-millisecond bursts.
+            s.excitation = Excitation::ofdm(0.6, 60_000);
+            s
+        }),
+    ];
+
+    println!(
+        "{:<26} {:>22}",
+        "working condition", "packet reception rate"
+    );
+    let rows = cbma::sim::sweep::parallel_sweep(&cases, |(label, scenario)| {
+        (*label, measure(scenario.clone(), packets))
+    });
+    for (label, prr) in rows {
+        println!("{label:<26} {:>22}", pct(prr));
+    }
+    println!("\npaper shape: WiFi and Bluetooth reduce reception only slightly");
+    println!("(duty-cycled channels); OFDM excitation drops it significantly.");
+}

@@ -1,0 +1,78 @@
+//! Fig. 8(a) — frame error rate vs tag-to-receiver distance.
+//!
+//! §VII-B.1: ES-to-tag distance fixed at 50 cm; tag-to-RX distance swept
+//! from 10 cm to 400 cm; 2, 3 and 4 concurrent tags; 1000 collided
+//! packets per point (fast profile scales this down). Expected shape:
+//! roughly flat below ~2 m, rising with distance beyond, and more tags →
+//! higher error.
+
+use cbma::prelude::*;
+use cbma_bench::{header, pct, Profile};
+
+/// Places `n` tags clustered 50 cm from the ES, then slides the receiver
+/// so the tag-to-RX distance is `d` meters (the paper moves the RX; the
+/// link budget only sees the two distances).
+fn scenario_at(n: usize, d_cm: f64, seed: u64) -> Engine {
+    // Tags in a tight cluster around (0, 0.5): 50 cm from the ES at
+    // (-0.5 ... use ES at origin side. Geometry: ES at (0,0); tags near
+    // (0.5, 0); RX at (0.5 + d, 0).
+    let offsets = [(0.0, 0.0), (0.0, 0.12), (0.0, -0.12), (0.12, 0.0)];
+    let tags: Vec<Point> = (0..n)
+        .map(|i| Point::new(0.5 + offsets[i].0, offsets[i].1))
+        .collect();
+    let mut scenario = Scenario::paper_default(tags).with_seed(seed);
+    scenario.es = Point::new(0.0, 0.0);
+    scenario.rx = Point::new(0.5 + d_cm / 100.0, 0.0);
+    // The paper's FER starts rising beyond ~2 m. Pure AWGN cannot produce
+    // that (the despreading gain keeps Eb/N0 huge at 4 m); what grows with
+    // indoor range is the scattered-to-LOS ratio, so the Rician K-factor
+    // decays with the tag→RX distance: clean LOS on the bench, fading-
+    // dominated at the far end of the office.
+    let d_m = (d_cm / 100.0).max(0.1);
+    scenario.multipath = MultipathModel {
+        k_factor: (12.0 / d_m).clamp(2.0, 24.0),
+        ..MultipathModel::indoor_default()
+    };
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    engine
+}
+
+fn main() {
+    header(
+        "Fig. 8(a)",
+        "paper §VII-B.1, Fig. 8(a)",
+        "frame error rate vs tag→RX distance (ES→tag fixed at 50 cm), 2/3/4 tags",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(1000);
+    // The paper steps 10 cm from 10 to 400 cm; the fast profile uses a
+    // coarser 14-point grid with the same span.
+    let distances: Vec<f64> = if profile == Profile::Full {
+        (1..=40).map(|i| i as f64 * 10.0).collect()
+    } else {
+        vec![
+            10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0, 250.0, 300.0, 350.0, 400.0,
+        ]
+    };
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "d (cm)", "2 tags", "3 tags", "4 tags"
+    );
+    let rows = cbma::sim::sweep::parallel_sweep(&distances, |&d| {
+        let fer = |n: usize| {
+            scenario_at(n, d, 0x0F16_8A00 + d as u64)
+                .run_rounds(packets)
+                .fer()
+        };
+        (d, fer(2), fer(3), fer(4))
+    });
+    for (d, f2, f3, f4) in rows {
+        println!("{:>10} {:>12} {:>12} {:>12}", d, pct(f2), pct(f3), pct(f4));
+    }
+    println!("\npaper shape: near-constant error below 2 m (lowest for 2 tags),");
+    println!("slightly increasing with distance beyond 2 m.");
+}

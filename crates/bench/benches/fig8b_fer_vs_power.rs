@@ -1,0 +1,52 @@
+//! Fig. 8(b) — frame error rate vs excitation-source transmit power.
+//!
+//! §VII-B.1: transmit power swept from −5 dBm to 20 dBm in 5 dB steps
+//! (the backscatter power is linear in it, per Eq. 1), 2/3/4 concurrent
+//! tags. Expected shape: error falls as power rises, and is very high at
+//! −5 dBm where the backscatter signal sinks into the noise.
+
+use cbma::prelude::*;
+use cbma_bench::{balanced_positions, header, pct, Profile};
+
+fn engine_at(n: usize, tx_dbm: f64, seed: u64) -> Engine {
+    let mut scenario = Scenario::paper_default(balanced_positions(n)).with_seed(seed);
+    scenario.link = scenario.link.with_tx_power(Dbm::new(tx_dbm));
+    // The paper's error knee sits near 0 dBm excitation, which locates
+    // their effective receiver floor around −73 dBm (ours defaults to a
+    // quieter −87 dBm and would keep every point error-free).
+    scenario.noise = NoiseModel::new(Db::new(6.0), Dbm::new(-73.0));
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    engine
+}
+
+fn main() {
+    header(
+        "Fig. 8(b)",
+        "paper §VII-B.1, Fig. 8(b)",
+        "frame error rate vs excitation transmit power, 2/3/4 tags",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(1000);
+    let powers: Vec<f64> = vec![-5.0, 0.0, 5.0, 10.0, 15.0, 20.0];
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "Pt (dBm)", "2 tags", "3 tags", "4 tags"
+    );
+    let rows = cbma::sim::sweep::parallel_sweep(&powers, |&p| {
+        let fer = |n: usize| {
+            engine_at(n, p, 0x0F16_8B00 + (p + 10.0) as u64)
+                .run_rounds(packets)
+                .fer()
+        };
+        (p, fer(2), fer(3), fer(4))
+    });
+    for (p, f2, f3, f4) in rows {
+        println!("{:>10} {:>12} {:>12} {:>12}", p, pct(f2), pct(f3), pct(f4));
+    }
+    println!("\npaper shape: error decreases with transmit power; at −5 dBm the");
+    println!("backscatter signal is buried in environmental noise and error is very high.");
+}

@@ -1,0 +1,101 @@
+//! Fig. 8(c) — frame error rate vs preamble length.
+//!
+//! §VII-B.1: preamble lengths 4, 8, 16, 32, 64 bits; 2/3/4 concurrent
+//! tags. Longer preambles sharpen both frame detection and the user-
+//! detection correlation, so the error falls with preamble length; the
+//! paper reports <1 % at 64 bits even with 4 tags.
+//!
+//! To expose the preamble's contribution the sweep runs at a reduced
+//! excitation power (5 dBm): at the full 20 dBm every length ≥ 8 bits is
+//! already error-free in our model.
+
+use cbma::prelude::*;
+use cbma_bench::{balanced_positions, header, pct, Profile};
+
+fn engine_at(n: usize, preamble_bits: usize, seed: u64) -> Engine {
+    let mut scenario = Scenario::paper_default(balanced_positions(n)).with_seed(seed);
+    scenario.phy = scenario.phy.with_preamble_bits(preamble_bits);
+    // Detection-limited regime: a reduced excitation power and the same
+    // −70 dBm effective floor as Fig. 8(b); at the paper's full 20 dBm
+    // every preamble length is detection-perfect in our model.
+    scenario.link = scenario.link.with_tx_power(Dbm::new(7.0));
+    scenario.noise = NoiseModel::new(Db::new(6.0), Dbm::new(-70.0));
+    // A tight user-detection threshold (the paper's "predetermined
+    // threshold"): the per-tag preamble correlation sits just above it,
+    // so the correlation noise — which shrinks with preamble length —
+    // decides detection.
+    scenario.rx_config.user_threshold = 0.30;
+    // Keep energy-based frame sync out of the way (it does not depend on
+    // the preamble length): a gentler comparator, with false alarms still
+    // suppressed by candidate validation.
+    scenario.rx_config.energy_threshold_db = 1.5;
+    // Bench-top conditions: without fading the per-tag correlation
+    // fluctuation is purely noise-driven and scales as 1/√(preamble
+    // samples) — the effect under study.
+    scenario.multipath = MultipathModel::disabled();
+    scenario.shadowing = ShadowingModel::disabled();
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    engine
+}
+
+/// Frame-detection error for one run: a tag counts as detected when the
+/// receiver's user detection lists it, decoded or not — Fig. 8(c) studies
+/// "the error rate of frame detection", not full decode.
+fn detection_error(engine: &mut Engine, packets: usize) -> f64 {
+    let n = engine.tags().len();
+    let mut sent = 0usize;
+    let mut detected = 0usize;
+    for _ in 0..packets {
+        let outcome = engine.run_round();
+        sent += n;
+        let ids = outcome.report.detected_ids();
+        detected += (0..n).filter(|i| ids.contains(i)).count();
+    }
+    1.0 - detected as f64 / sent as f64
+}
+
+fn main() {
+    header(
+        "Fig. 8(c)",
+        "paper §VII-B.1, Fig. 8(c)",
+        "frame-detection error rate vs preamble length, 2/3/4 tags (7 dBm excitation)",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(1000);
+    let lengths: Vec<usize> = vec![4, 8, 16, 32, 64];
+
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "preamble", "2 tags", "3 tags", "4 tags"
+    );
+    let rows = cbma::sim::sweep::parallel_sweep(&lengths, |&l| {
+        let err = |n: usize| {
+            // Detection failures at the threshold are bursty per
+            // deployment (geometry and static phases), so average over
+            // several independent deployments.
+            let seeds = 6;
+            (0..seeds)
+                .map(|s| {
+                    let mut engine = engine_at(n, l, 0x0F16_8C00 + (l * 17 + s * 131 + n) as u64);
+                    detection_error(&mut engine, (packets / seeds).max(30))
+                })
+                .sum::<f64>()
+                / seeds as f64
+        };
+        (l, err(2), err(3), err(4))
+    });
+    for (l, f2, f3, f4) in rows {
+        println!(
+            "{:>10} b {:>12} {:>12} {:>12}",
+            l,
+            pct(f2),
+            pct(f3),
+            pct(f4)
+        );
+    }
+    println!("\npaper shape: error falls as the preamble grows; 64-bit preambles");
+    println!("push the 4-tag error below 1 %.");
+}

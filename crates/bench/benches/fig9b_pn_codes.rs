@@ -1,0 +1,70 @@
+//! Fig. 9(b) — error rate: Gold codes vs 2NC codes.
+//!
+//! §VII-B.3: 2 to 5 concurrent tags, decoding error per code family.
+//! 2NC's better orthogonality yields lower error; with Gold codes the
+//! 5-tag error jumps (the paper reports ≈11 %). The bench also prints the
+//! correlation-property analysis that explains the gap.
+
+use cbma::codes::{CodeFamily, CorrelationReport, FamilyKind, GoldFamily, TwoNcFamily};
+use cbma::prelude::*;
+use cbma_bench::{balanced_positions, header, pct, Profile};
+
+fn fer(family: FamilyKind, n: usize, packets: usize, seed: u64) -> f64 {
+    let mut scenario = Scenario::paper_default(balanced_positions(n)).with_seed(seed);
+    scenario.family = family;
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    engine.run_rounds(packets).fer()
+}
+
+fn main() {
+    header(
+        "Fig. 9(b)",
+        "paper §VII-B.3, Fig. 9(b)",
+        "decode error rate per PN-code family, 2–5 concurrent tags",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(1000);
+
+    println!("{:>8} {:>14} {:>14}", "tags", "gold (n=5)", "2nc");
+    let counts: Vec<usize> = vec![2, 3, 4, 5];
+    let rows = cbma::sim::sweep::parallel_sweep(&counts, |&n| {
+        (
+            n,
+            fer(
+                FamilyKind::Gold { degree: 5 },
+                n,
+                packets,
+                0x916B + n as u64,
+            ),
+            // A fixed 32-chip 2NC family (as dimensioned for the paper's
+            // 10-tag deployment) so both families spread comparably
+            // (Gold-31 vs 2NC-32).
+            fer(
+                FamilyKind::TwoNc { users: 16 },
+                n,
+                packets,
+                0x916B + n as u64,
+            ),
+        )
+    });
+    for (n, g, t) in rows {
+        println!("{:>8} {:>14} {:>14}", n, pct(g), pct(t));
+    }
+
+    println!("\ncorrelation properties behind the gap:");
+    let gold = GoldFamily::new(5).unwrap();
+    let twonc = TwoNcFamily::new(5).unwrap();
+    println!(
+        "  gold : {}",
+        CorrelationReport::analyze(&gold.codes(5).unwrap())
+    );
+    println!(
+        "  2nc  : {}",
+        CorrelationReport::analyze(&twonc.codes(5).unwrap())
+    );
+    println!("\npaper shape: error grows with tag count; 2NC beats Gold at every");
+    println!("count, and Gold's 5-tag error jumps to ≈11 %.");
+}

@@ -1,0 +1,62 @@
+//! Fig. 9(c) — error rate with vs without power control.
+//!
+//! §VII-B.3: for 2–5 tags, 50 groups of random positions each (fast
+//! profile scales the group count); every group is measured once with the
+//! tags at their arbitrary boot impedance states (no power control) and
+//! once after Algorithm 1 converges. The paper reports ≤5 % error with
+//! power control at 5 tags and a ~5× gap at 5 tags.
+
+use cbma::prelude::*;
+use cbma::sim::adaptation::Adapter;
+use cbma::sim::deployment::random_positions;
+use cbma_bench::{header, pct, table_area, Profile};
+use rand::SeedableRng;
+
+fn main() {
+    header(
+        "Fig. 9(c)",
+        "paper §VII-B.3, Fig. 9(c)",
+        "error rate with vs without Algorithm 1 power control, 2–5 tags",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(300);
+    let groups = profile.groups(50);
+
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "tags", "no power ctl", "with power ctl", "gain"
+    );
+    let counts: Vec<usize> = vec![2, 3, 4, 5];
+    let rows = cbma::sim::sweep::parallel_sweep(&counts, |&n| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x916C + n as u64);
+        let mut no_pc = 0.0;
+        let mut with_pc = 0.0;
+        for g in 0..groups {
+            let positions = random_positions(&mut rng, table_area(), n, 0.12);
+            let scenario =
+                Scenario::paper_default(positions).with_seed(0x916C00 + (n * 100 + g) as u64);
+            // Without power control: arbitrary boot impedance states.
+            let mut raw = Engine::new(scenario.clone()).expect("valid scenario");
+            no_pc += raw.run_rounds(packets).fer();
+            // With power control: Algorithm 1 to convergence, then measure.
+            let mut adapted = Engine::new(scenario).expect("valid scenario");
+            let adapter = Adapter::paper_default(packets.max(10) / 2);
+            let _ = adapter.run_power_control(&mut adapted);
+            with_pc += adapted.run_rounds(packets).fer();
+        }
+        (n, no_pc / groups as f64, with_pc / groups as f64)
+    });
+    for (n, raw, pc) in rows {
+        println!(
+            "{:>8} {:>16} {:>16} {:>9.2}x",
+            n,
+            pct(raw),
+            pct(pc),
+            raw / pc.max(1e-4)
+        );
+    }
+    println!("\npaper shape: error grows with tag count; power control reduces it at");
+    println!("every count (the paper reports ≤5 % at 5 tags with control, ~5× gain).");
+    println!("note: our coherent receiver is less power-sensitive than the paper's");
+    println!("envelope receiver, so the absolute gain is smaller — see EXPERIMENTS.md.");
+}

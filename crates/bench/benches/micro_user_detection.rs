@@ -1,0 +1,67 @@
+//! §VII-B.2 — user-detection accuracy with a 10-tag group.
+//!
+//! "A group of 10 tags are deployed for backscattering data. For each
+//! case, we randomly select a part of tags to send their data. The
+//! receiver uses all the PN codes of the tags in the group to detect
+//! which tag is backscattering. We perform the experiment 1000 times and
+//! the results demonstrate that we can 99.9 % correctly detect which tags
+//! are sending data."
+//!
+//! In this receiver a tag is declared present when its frame decodes
+//! (CRC-valid, alias-resolved): the §III-B correlation threshold only
+//! nominates *candidates*, and validation is the declaration. The bench
+//! reports per-tag detection accuracy (the paper's 99.9 % figure) and the
+//! stricter exact-active-set rate.
+
+use cbma::prelude::*;
+use cbma_bench::{balanced_positions, header, pct, Profile};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    header(
+        "user detection",
+        "paper §VII-B.2",
+        "10-tag group, random active subsets: how often the detected set is exact",
+    );
+    let profile = Profile::from_env();
+    let trials = profile.packets(1000);
+
+    let scenario = Scenario::paper_default(balanced_positions(10)).with_seed(0xDE7EC7);
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDE7EC7);
+    let mut exact = 0usize;
+    let mut missed = 0usize;
+    let mut phantom = 0usize;
+    let mut judged = 0usize;
+    for _ in 0..trials {
+        let k = rng.gen_range(1..=10usize);
+        let mut ids: Vec<usize> = (0..10).collect();
+        ids.shuffle(&mut rng);
+        let mut active = ids[..k].to_vec();
+        active.sort_unstable();
+
+        let outcome = engine.run_round_subset(&active);
+        let detected: Vec<usize> = outcome.report.ack.iter().map(|id| id as usize).collect();
+        if detected == active {
+            exact += 1;
+        }
+        missed += active.iter().filter(|a| !detected.contains(a)).count();
+        phantom += detected.iter().filter(|d| !active.contains(d)).count();
+        judged += 10; // every tag of the group is classified each trial
+    }
+
+    let per_tag = 1.0 - (missed + phantom) as f64 / judged as f64;
+    println!("trials: {trials}");
+    println!("per-tag detection accuracy:  {}", pct(per_tag));
+    println!(
+        "exact active-set detections: {}",
+        pct(exact as f64 / trials as f64)
+    );
+    println!("missed tag instances: {missed}, phantom tag instances: {phantom}");
+    println!("\npaper: 99.9 % correct detection over 1000 trials.");
+}

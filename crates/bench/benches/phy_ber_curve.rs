@@ -1,0 +1,67 @@
+//! PHY validation — bit error rate vs excitation power.
+//!
+//! Not a paper figure: this curve validates the simulated PHY against
+//! communication theory. A correlation receiver despreading SF chips of
+//! OOK enjoys a processing gain of SF·(samples/chip); the measured BER
+//! should fall off a cliff once the per-bit SNR passes the coherent
+//! detection threshold, with the multi-tag curves shifted right by the
+//! extra MAI. The frame error rate is printed alongside so the
+//! FER ≈ 1 − (1 − BER)^bits relationship can be eyeballed.
+
+use cbma::prelude::*;
+use cbma_bench::{balanced_positions, header, Profile};
+
+fn measure(n: usize, tx_dbm: f64, packets: usize) -> (Option<f64>, f64) {
+    let mut scenario =
+        Scenario::paper_default(balanced_positions(n)).with_seed(0xBE5 + tx_dbm as u64);
+    scenario.link = scenario.link.with_tx_power(Dbm::new(tx_dbm));
+    scenario.noise = NoiseModel::new(Db::new(6.0), Dbm::new(-73.0));
+    scenario.shadowing = ShadowingModel::disabled();
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    let stats = engine.run_rounds(packets);
+    (stats.ber(), stats.fer())
+}
+
+fn main() {
+    header(
+        "PHY: BER curve",
+        "reproduction validation (not a paper figure)",
+        "bit error rate vs excitation power, 1 and 3 concurrent tags",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(600);
+
+    println!(
+        "{:>10} {:>14} {:>10} {:>14} {:>10}",
+        "Pt (dBm)", "BER (1 tag)", "FER", "BER (3 tags)", "FER"
+    );
+    let powers: Vec<f64> = vec![0.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0];
+    let rows = cbma::sim::sweep::parallel_sweep(&powers, |&p| {
+        (p, measure(1, p, packets), measure(3, p, packets))
+    });
+    for (p, (ber1, fer1), (ber3, fer3)) in rows {
+        let fmt_ber = |b: Option<f64>| match b {
+            Some(x) if x > 0.0 => format!("{x:.2e}"),
+            Some(_) => "<1e-5".to_string(),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "{:>10} {:>14} {:>9.1}% {:>14} {:>9.1}%",
+            p,
+            fmt_ber(ber1),
+            fer1 * 100.0,
+            fmt_ber(ber3),
+            fer3 * 100.0
+        );
+    }
+    println!("\nreading: both curves are coherent-receiver waterfalls. Note the");
+    println!("1-tag FER is *worse* than 3 tags near the knee: frame sync keys on");
+    println!("aggregate energy, and three tags together trip the detector at");
+    println!("powers where one alone cannot — per-bit decoding, by contrast, is");
+    println!("cleanest with a single tag (compare the BER columns). Measured bits");
+    println!("come from frames whose header decoded, so the deep-failure region");
+    println!("under-counts (FER tells that part of the story).");
+}

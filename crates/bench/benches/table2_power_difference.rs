@@ -1,0 +1,112 @@
+//! Table II — error rate vs. inter-tag received-power difference.
+//!
+//! §IV's benchmark: two tags per test, ES at (−50 cm, 0), RX at
+//! (50 cm, 0); the "difference" column is the power gap over the larger
+//! power, and the error rate is missing packets over transmitted packets.
+//! The library's default (coherent) receiver is used: its near-far
+//! mechanism is the §III-B detection threshold — a tag far below the
+//! aggregate received energy fails user detection. (The paper's
+//! envelope-first receiver is compared separately in the
+//! `ablation_receiver` bench; in our baseband model its errors are
+//! dominated by inter-tag phase geometry rather than power difference.)
+//!
+//! Placement: tag 1 sits at (0, 0.40); tag 2 starts at the mirror point
+//! (0, −0.40) — exactly equal received power by symmetry — and slides
+//! away along the axis until the link budget hits each target difference,
+//! giving a controlled sweep instead of the paper's random draws.
+
+use cbma::prelude::*;
+use cbma_bench::{header, pct, Profile};
+
+/// Received power (mW) for a tag at (0, −y).
+fn power_at(link: &BackscatterLink, es: Point, rx: Point, y: f64) -> f64 {
+    link.received_power(es, Point::new(0.0, -y), rx)
+        .to_milliwatts()
+}
+
+/// Finds y so that the power difference ratio vs the reference tag hits
+/// `target` (bisection; power falls monotonically with y).
+fn y_for_difference(link: &BackscatterLink, es: Point, rx: Point, p_ref: f64, target: f64) -> f64 {
+    let (mut lo, mut hi) = (0.40, 3.5);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        let diff = 1.0 - power_at(link, es, rx, mid) / p_ref;
+        if diff < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+fn main() {
+    header(
+        "Table II",
+        "paper §IV, Table II",
+        "two-tag collisions: error rate vs received-power difference",
+    );
+    let profile = Profile::from_env();
+    let packets = profile.packets(1000);
+    let seeds_per_target = if profile == Profile::Full { 4 } else { 2 };
+
+    let link = BackscatterLink::paper_default();
+    let es = Point::from_cm(-50.0, 0.0);
+    let rx = Point::from_cm(50.0, 0.0);
+    let tag1 = Point::new(0.0, 0.40);
+    let p_ref = power_at(&link, es, rx, 0.40);
+
+    println!(
+        "{:>10} {:>8} {:>8} {:>12} {:>12}",
+        "target", "P1(dBm)", "P2(dBm)", "difference", "error rate"
+    );
+
+    // The paper stops at 68 %; our coherent receiver's detection cliff
+    // sits deeper, so the sweep extends to 97 % (≈15 dB) to expose it.
+    let targets = [
+        0.0, 0.05, 0.10, 0.20, 0.35, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.97,
+    ];
+    let mut below_10 = Vec::new();
+    let mut above_50 = Vec::new();
+    for &target in &targets {
+        let y2 = y_for_difference(&link, es, rx, p_ref, target);
+        let tag2 = Point::new(0.0, -y2);
+        let p2 = power_at(&link, es, rx, y2);
+        let diff = 1.0 - p2 / p_ref;
+
+        let mut fer_sum = 0.0;
+        for s in 0..seeds_per_target {
+            let mut scenario =
+                Scenario::paper_default(vec![tag1, tag2]).with_seed(0x7AB1E + s as u64 * 131);
+            scenario.shadowing = ShadowingModel::disabled();
+            let mut engine = Engine::new(scenario).unwrap();
+            for t in engine.tags_mut() {
+                t.set_impedance(ImpedanceState::Open);
+            }
+            fer_sum += engine.run_rounds(packets).fer();
+        }
+        let fer = fer_sum / seeds_per_target as f64;
+        println!(
+            "{:>10} {:>8.1} {:>8.1} {:>12} {:>12}",
+            pct(target),
+            10.0 * p_ref.log10(),
+            10.0 * p2.log10(),
+            pct(diff),
+            pct(fer)
+        );
+        if diff < 0.10 {
+            below_10.push(fer);
+        }
+        if diff > 0.50 {
+            above_50.push(fer);
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nsummary: mean error below 10 % difference = {}; above 50 % = {}",
+        pct(mean(&below_10)),
+        pct(mean(&above_50))
+    );
+    println!("paper: ≤0.9 % error below 10 % difference; 16–38 % above 50 %.");
+}

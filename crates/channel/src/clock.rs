@@ -1,0 +1,162 @@
+//! Tag clock asynchrony.
+//!
+//! "As the tags operate in a distributed manner, the backscatter signals
+//! from the tags may have time differences due to the different
+//! transmission delays, processing times, etc." (§VII-C.2). Each tag's
+//! oscillator also drifts by some parts-per-million. [`ClockModel`]
+//! produces per-frame start delays (in samples, possibly fractional) that
+//! the mixer applies with linear-interpolation fractional delay.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-tag timing behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockModel {
+    /// Fixed offset in samples applied to every frame (used directly by
+    /// the Fig. 11 sweep).
+    pub fixed_offset_samples: f64,
+    /// Uniform random jitter amplitude in samples: each frame adds a draw
+    /// from [0, jitter].
+    pub jitter_samples: f64,
+    /// Oscillator drift in parts per million; accumulates over the frame
+    /// and is modelled as an extra offset of `ppm × 1e-6 × frame_len`.
+    /// The same tolerance offsets the Δf subcarrier, which makes the
+    /// inter-tag phase beat across a frame (see
+    /// [`ClockModel::subcarrier_beat`]).
+    pub drift_ppm: f64,
+}
+
+impl ClockModel {
+    /// A perfectly synchronized clock.
+    pub fn synchronized() -> ClockModel {
+        ClockModel {
+            fixed_offset_samples: 0.0,
+            jitter_samples: 0.0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// Default asynchrony for distributed tags: up to two chips of random
+    /// start jitter (at the mixer's samples-per-chip resolution the caller
+    /// scales this) and 20 ppm drift.
+    pub fn distributed_default(samples_per_chip: usize) -> ClockModel {
+        ClockModel {
+            fixed_offset_samples: 0.0,
+            jitter_samples: 2.0 * samples_per_chip as f64,
+            drift_ppm: 20.0,
+        }
+    }
+
+    /// A clock with only a fixed offset (Fig. 11's controlled delay).
+    pub fn fixed(offset_samples: f64) -> ClockModel {
+        ClockModel {
+            fixed_offset_samples: offset_samples,
+            jitter_samples: 0.0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// Draws the residual subcarrier offset for one frame, in radians per
+    /// sample: the tag's Δf oscillator is `drift_ppm`-accurate, so at a
+    /// subcarrier of `subcarrier_hz` the received baseband rotates by up
+    /// to `2π · ppm·1e-6 · subcarrier / sample_rate` per sample (uniform
+    /// in ±that).
+    pub fn subcarrier_beat<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        subcarrier_hz: f64,
+        sample_rate_hz: f64,
+    ) -> f64 {
+        let max = std::f64::consts::TAU * self.drift_ppm.abs() * 1e-6 * subcarrier_hz
+            / sample_rate_hz.max(1.0);
+        if max > 0.0 {
+            rng.gen_range(-max..max)
+        } else {
+            0.0
+        }
+    }
+
+    /// Draws the start delay (in samples) for one frame of `frame_samples`
+    /// samples. Always non-negative.
+    pub fn frame_delay<R: Rng + ?Sized>(&self, rng: &mut R, frame_samples: usize) -> f64 {
+        let jitter = if self.jitter_samples > 0.0 {
+            rng.gen_range(0.0..self.jitter_samples)
+        } else {
+            0.0
+        };
+        let drift = self.drift_ppm.abs() * 1e-6 * frame_samples as f64;
+        (self.fixed_offset_samples + jitter + drift).max(0.0)
+    }
+}
+
+impl Default for ClockModel {
+    fn default() -> ClockModel {
+        ClockModel::synchronized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synchronized_clock_has_zero_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            ClockModel::synchronized().frame_delay(&mut rng, 10_000),
+            0.0
+        );
+    }
+
+    #[test]
+    fn fixed_clock_returns_exact_offset() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = ClockModel::fixed(12.5);
+        assert_eq!(c.frame_delay(&mut rng, 10_000), 12.5);
+        assert_eq!(c.frame_delay(&mut rng, 0), 12.5);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_varies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = ClockModel {
+            fixed_offset_samples: 0.0,
+            jitter_samples: 8.0,
+            drift_ppm: 0.0,
+        };
+        let draws: Vec<f64> = (0..100).map(|_| c.frame_delay(&mut rng, 0)).collect();
+        assert!(draws.iter().all(|&d| (0.0..8.0).contains(&d)));
+        let distinct = draws.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct > 90);
+    }
+
+    #[test]
+    fn drift_grows_with_frame_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = ClockModel {
+            fixed_offset_samples: 0.0,
+            jitter_samples: 0.0,
+            drift_ppm: 20.0,
+        };
+        let short = c.frame_delay(&mut rng, 1_000);
+        let long = c.frame_delay(&mut rng, 100_000);
+        assert!(long > short);
+        assert!((long - 2.0).abs() < 1e-9); // 20e-6 × 1e5
+    }
+
+    #[test]
+    fn distributed_default_scales_with_oversampling() {
+        let c = ClockModel::distributed_default(8);
+        assert_eq!(c.jitter_samples, 16.0);
+    }
+
+    #[test]
+    fn delay_never_negative() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = ClockModel::fixed(-5.0);
+        assert_eq!(c.frame_delay(&mut rng, 100), 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The backscatter link budget — paper Eq. 1.
+//!
+//! ```text
+//! P_r = (P_t·G_t / 4π d₁²) · (λ²·G_tag² / 4π · |ΔΓ|²/4 · α) · (1 / 4π d₂² · λ²·G_r / 4π)
+//! ```
+//!
+//! The first factor propagates the excitation to the tag, the middle one is
+//! the fraction the tag re-radiates (scaled by the reflection-coefficient
+//! difference |ΔΓ| the impedance switch controls), and the last propagates
+//! the reflection to the receiver. The node-selection scheme evaluates this
+//! field over candidate positions (Fig. 5), and the mixer uses it as the
+//! mean link gain for signal synthesis.
+
+use serde::{Deserialize, Serialize};
+
+use cbma_types::geometry::Point;
+use cbma_types::units::{Dbm, Hertz, Watts};
+
+use std::f64::consts::PI;
+
+/// Which sidebands the tag's subcarrier modulation produces.
+///
+/// A square-wave subcarrier mirrors the excitation into both f_c ± Δf
+/// (the paper's footnote 1); the receiver listens to one of them, so half
+/// the backscattered power is wasted. Ref. \[10\] ("Inter-technology
+/// backscatter") generates a single sideband with a quadrature switch
+/// network, recovering that 3 dB — modelled here as a link-budget option
+/// and measured by the `ablation_sideband` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Sideband {
+    /// Ordinary square-wave modulation: energy splits across f_c ± Δf.
+    #[default]
+    Double,
+    /// Single-sideband modulation (ref. \[10\]): all energy lands in the
+    /// receiver's band (+3 dB).
+    Single,
+}
+
+/// Parameters of the backscatter link budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackscatterLink {
+    /// Excitation-source transmit power P_t.
+    pub tx_power: Dbm,
+    /// Excitation antenna gain G_t (linear).
+    pub tx_gain: f64,
+    /// Tag antenna gain G_tag (linear).
+    pub tag_gain: f64,
+    /// Receiver antenna gain G_r (linear).
+    pub rx_gain: f64,
+    /// Carrier frequency (sets λ).
+    pub carrier: Hertz,
+    /// Reflection-coefficient difference magnitude |ΔΓ| ∈ [0, 2].
+    pub delta_gamma: f64,
+    /// Backscatter efficiency α ∈ (0, 1] — modulation, harmonic (4/π sine
+    /// approximation of the square subcarrier) and switching losses.
+    pub alpha: f64,
+    /// Sideband structure of the subcarrier modulation.
+    pub sideband: Sideband,
+}
+
+impl BackscatterLink {
+    /// The paper's implementation constants: 20 dBm excitation, 2 dBi
+    /// antennas, 2 GHz carrier (§VI), full-swing reflection, and an α that
+    /// folds in the single-sideband/harmonic losses of the square-wave
+    /// subcarrier.
+    pub fn paper_default() -> BackscatterLink {
+        BackscatterLink {
+            tx_power: Dbm::new(20.0),
+            tx_gain: 1.58, // 2 dBi
+            tag_gain: 1.58,
+            rx_gain: 1.58,
+            carrier: Hertz::from_ghz(2.0),
+            delta_gamma: 1.0,
+            alpha: 0.2,
+            sideband: Sideband::Double,
+        }
+    }
+
+    /// Returns a copy with a different |ΔΓ| (the impedance actuator).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `delta_gamma` is outside [0, 2].
+    pub fn with_delta_gamma(mut self, delta_gamma: f64) -> BackscatterLink {
+        debug_assert!(
+            (0.0..=2.0).contains(&delta_gamma),
+            "|ΔΓ| must be within [0, 2], got {delta_gamma}"
+        );
+        self.delta_gamma = delta_gamma;
+        self
+    }
+
+    /// Returns a copy with a different excitation power (Fig. 8(b) sweep).
+    pub fn with_tx_power(mut self, tx_power: Dbm) -> BackscatterLink {
+        self.tx_power = tx_power;
+        self
+    }
+
+    /// Returns a copy using single-sideband modulation (ref. \[10\]).
+    pub fn with_single_sideband(mut self) -> BackscatterLink {
+        self.sideband = Sideband::Single;
+        self
+    }
+
+    /// Mean received backscatter power for given ES→tag and tag→RX
+    /// distances (meters), clamping distances to 1 cm to avoid the
+    /// near-field singularity of the far-field formula.
+    pub fn received_power_at(&self, d1_m: f64, d2_m: f64) -> Dbm {
+        let d1 = d1_m.max(0.01);
+        let d2 = d2_m.max(0.01);
+        let lambda = self.carrier.wavelength().get();
+        let pt = self.tx_power.to_watts().get();
+
+        let incident = pt * self.tx_gain / (4.0 * PI * d1 * d1);
+        let reradiated = (lambda * lambda * self.tag_gain * self.tag_gain / (4.0 * PI))
+            * (self.delta_gamma * self.delta_gamma / 4.0)
+            * self.alpha;
+        let capture = (1.0 / (4.0 * PI * d2 * d2)) * (lambda * lambda * self.rx_gain / (4.0 * PI));
+        // The receiver listens to one shifted band; double-sideband
+        // modulation wastes the mirror image.
+        let sideband_gain = match self.sideband {
+            Sideband::Double => 0.5,
+            Sideband::Single => 1.0,
+        };
+
+        Watts::new(incident * reradiated * capture * sideband_gain).to_dbm()
+    }
+
+    /// Mean received power for concrete ES/tag/RX positions.
+    pub fn received_power(&self, es: Point, tag: Point, rx: Point) -> Dbm {
+        self.received_power_at(es.distance_to(tag), rx.distance_to(tag))
+    }
+
+    /// Received *amplitude* (√W) used when synthesizing the tag waveform.
+    pub fn received_amplitude(&self, es: Point, tag: Point, rx: Point) -> f64 {
+        self.received_power(es, tag, rx).to_watts().get().sqrt()
+    }
+
+    /// Evaluates the theoretical signal-strength field over a grid of tag
+    /// positions (Fig. 5). Returns row-major `(point, power)` samples with
+    /// `nx × ny` entries spanning the rectangle `[min, max]`.
+    pub fn field(
+        &self,
+        es: Point,
+        rx: Point,
+        min: Point,
+        max: Point,
+        nx: usize,
+        ny: usize,
+    ) -> Vec<(Point, Dbm)> {
+        let mut out = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let fx = if nx > 1 {
+                    ix as f64 / (nx - 1) as f64
+                } else {
+                    0.5
+                };
+                let fy = if ny > 1 {
+                    iy as f64 / (ny - 1) as f64
+                } else {
+                    0.5
+                };
+                let p = Point::new(min.x + (max.x - min.x) * fx, min.y + (max.y - min.y) * fy);
+                out.push((p, self.received_power(es, p, rx)));
+            }
+        }
+        out
+    }
+}
+
+impl Default for BackscatterLink {
+    fn default() -> BackscatterLink {
+        BackscatterLink::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_falls_with_fourth_power_of_symmetric_distance() {
+        // Doubling both d1 and d2 costs 2^4 = 12 dB... (6 dB per hop
+        // squared): 10·log10(16) ≈ 12.04 dB.
+        let link = BackscatterLink::paper_default();
+        let near = link.received_power_at(0.5, 0.5);
+        let far = link.received_power_at(1.0, 1.0);
+        let drop = (near - far).get();
+        assert!((drop - 12.04).abs() < 0.1, "drop = {drop}");
+    }
+
+    #[test]
+    fn power_scales_linearly_with_tx_power() {
+        // §VII-B.1: "backscatter power and the excitation source power are
+        // linearly related to each other".
+        let base = BackscatterLink::paper_default();
+        let p0 = base.received_power_at(0.5, 1.0);
+        let p10 = base
+            .with_tx_power(Dbm::new(30.0))
+            .received_power_at(0.5, 1.0);
+        assert!(((p10 - p0).get() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_gamma_controls_power_quadratically() {
+        let link = BackscatterLink::paper_default();
+        let full = link.received_power_at(0.5, 1.0);
+        let half = link.with_delta_gamma(0.5).received_power_at(0.5, 1.0);
+        // Halving |ΔΓ| costs 6.02 dB.
+        assert!(((full - half).get() - 6.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn typical_office_power_is_plausible() {
+        // At d1=0.5 m, d2=1 m with paper defaults the backscatter power
+        // should sit in the tens of dB above a -100 dBm noise floor but
+        // far below the excitation power.
+        let p = BackscatterLink::paper_default().received_power_at(0.5, 1.0);
+        assert!(p.get() < -40.0 && p.get() > -80.0, "p = {p}");
+    }
+
+    #[test]
+    fn near_field_is_clamped() {
+        let link = BackscatterLink::paper_default();
+        let p = link.received_power_at(0.0, 0.0);
+        assert!(p.is_finite());
+        assert_eq!(p, link.received_power_at(0.005, 0.002));
+    }
+
+    #[test]
+    fn field_grid_shape_and_monotonicity() {
+        let link = BackscatterLink::paper_default();
+        let es = Point::from_cm(-50.0, 0.0);
+        let rx = Point::from_cm(50.0, 0.0);
+        let field = link.field(es, rx, Point::new(-2.0, -2.0), Point::new(2.0, 2.0), 9, 9);
+        assert_eq!(field.len(), 81);
+        // The point midway between ES and RX beats a far corner.
+        let center = field
+            .iter()
+            .min_by(|a, b| {
+                a.0.distance_to(Point::ORIGIN)
+                    .partial_cmp(&b.0.distance_to(Point::ORIGIN))
+                    .unwrap()
+            })
+            .unwrap();
+        let corner = &field[0];
+        assert!(center.1.get() > corner.1.get());
+    }
+
+    #[test]
+    fn single_sideband_buys_exactly_3db() {
+        let dsb = BackscatterLink::paper_default();
+        let ssb = BackscatterLink::paper_default().with_single_sideband();
+        let gain = (ssb.received_power_at(0.5, 1.0) - dsb.received_power_at(0.5, 1.0)).get();
+        assert!((gain - 3.0103).abs() < 0.001, "gain {gain} dB");
+    }
+
+    #[test]
+    fn amplitude_is_sqrt_of_power() {
+        let link = BackscatterLink::paper_default();
+        let es = Point::from_cm(-50.0, 0.0);
+        let tag = Point::new(0.0, 0.5);
+        let rx = Point::from_cm(50.0, 0.0);
+        let a = link.received_amplitude(es, tag, rx);
+        let p = link.received_power(es, tag, rx).to_watts().get();
+        assert!((a * a - p).abs() / p < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Log-normal shadowing for "challenging indoor scenarios".
+//!
+//! The Friis field (Eq. 1) is the free-space mean; the paper's office has
+//! obstacles and rich multipath (§I, §VII). Large-scale variation is
+//! modelled the standard way: a per-link log-normal shadowing term with
+//! standard deviation σ dB, frozen per deployment (obstacles do not move
+//! between frames) and drawn deterministically from the link's position so
+//! reruns reproduce the same environment.
+
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+use serde::{Deserialize, Serialize};
+
+use cbma_types::units::Db;
+use cbma_types::{geometry::Point, SeedSequence};
+
+/// Box–Muller standard normal sampling without external distributions.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Draws one standard-normal sample.
+    pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Draws one zero-mean Gaussian sample with the given σ.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    sample_standard_normal(rng) * sigma
+}
+
+/// Per-deployment log-normal shadowing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingModel {
+    /// Standard deviation of the shadowing term in dB. 0 disables it.
+    pub sigma_db: f64,
+    /// Root seed tying the shadowing realization to the deployment.
+    pub seed: u64,
+}
+
+impl ShadowingModel {
+    /// Creates a model with the given σ (dB) and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `sigma_db` is negative.
+    pub fn new(sigma_db: f64, seed: u64) -> ShadowingModel {
+        debug_assert!(sigma_db >= 0.0, "shadowing sigma must be non-negative");
+        ShadowingModel { sigma_db, seed }
+    }
+
+    /// A typical indoor-office value: σ = 3 dB.
+    pub fn indoor_default(seed: u64) -> ShadowingModel {
+        ShadowingModel::new(3.0, seed)
+    }
+
+    /// Disabled shadowing (free-space only).
+    pub fn disabled() -> ShadowingModel {
+        ShadowingModel::new(0.0, 0)
+    }
+
+    /// The shadowing offset for the link to a tag at `tag`. Deterministic
+    /// in `(seed, position)`: the same deployment always sees the same
+    /// obstacles.
+    pub fn offset_for(&self, tag: Point) -> Db {
+        if self.sigma_db == 0.0 {
+            return Db::ZERO;
+        }
+        // Quantize position to centimeters so that nearby floating-point
+        // representations of "the same place" shadow identically.
+        let qx = (tag.x * 100.0).round() as i64;
+        let qy = (tag.y * 100.0).round() as i64;
+        let seq = SeedSequence::new(self.seed);
+        let mut rng = seq.rng_indexed("shadowing", (qx as u64) ^ (qy as u64).rotate_left(32));
+        Db::new(gaussian(&mut rng, self.sigma_db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_model_is_zero_everywhere() {
+        let m = ShadowingModel::disabled();
+        assert_eq!(m.offset_for(Point::new(1.0, 2.0)), Db::ZERO);
+    }
+
+    #[test]
+    fn offsets_are_deterministic_per_position() {
+        let m = ShadowingModel::indoor_default(42);
+        let p = Point::new(0.37, -1.22);
+        assert_eq!(m.offset_for(p), m.offset_for(p));
+        // 1 mm away rounds to the same centimeter cell.
+        assert_eq!(m.offset_for(p), m.offset_for(Point::new(0.3701, -1.2203)));
+    }
+
+    #[test]
+    fn different_positions_shadow_differently() {
+        let m = ShadowingModel::indoor_default(42);
+        let a = m.offset_for(Point::new(0.0, 0.0));
+        let b = m.offset_for(Point::new(1.0, 1.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_environments() {
+        let p = Point::new(0.5, 0.5);
+        let a = ShadowingModel::indoor_default(1).offset_for(p);
+        let b = ShadowingModel::indoor_default(2).offset_for(p);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let m = ShadowingModel::new(3.0, 7);
+        let samples: Vec<f64> = (0..4000)
+            .map(|i| {
+                m.offset_for(Point::new(i as f64 * 0.01, -(i as f64) * 0.013))
+                    .get()
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.25, "mean = {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.3, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_helper_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05);
+        assert!((var.sqrt() - 2.0).abs() < 0.05);
+    }
+}

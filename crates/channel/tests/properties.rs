@@ -1,0 +1,187 @@
+//! Property-based tests for the channel models.
+
+use cbma_channel::friis::BackscatterLink;
+use cbma_channel::mixer::{Mixer, TagSignal};
+use cbma_channel::{
+    AdcModel, ClockModel, Excitation, InterferenceModel, MultipathModel, NoiseModel,
+};
+use cbma_types::geometry::Point;
+use cbma_types::units::{Db, Dbm, Hertz};
+use cbma_types::Iq;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Friis field is monotone in both distances: moving the tag
+    /// farther from either radio never increases the received power.
+    #[test]
+    fn friis_is_monotone_in_distance(
+        d1 in 0.05f64..3.0,
+        d2 in 0.05f64..3.0,
+        grow in 0.01f64..2.0,
+    ) {
+        let link = BackscatterLink::paper_default();
+        let base = link.received_power_at(d1, d2).get();
+        prop_assert!(link.received_power_at(d1 + grow, d2).get() <= base + 1e-9);
+        prop_assert!(link.received_power_at(d1, d2 + grow).get() <= base + 1e-9);
+    }
+
+    /// Reciprocity: swapping d1 and d2 leaves the budget unchanged when
+    /// the antenna gains match.
+    #[test]
+    fn friis_is_reciprocal(d1 in 0.05f64..3.0, d2 in 0.05f64..3.0) {
+        let link = BackscatterLink::paper_default();
+        let a = link.received_power_at(d1, d2).get();
+        let b = link.received_power_at(d2, d1).get();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// |ΔΓ| scales power by exactly 20·log10(ΔΓ₁/ΔΓ₂) dB.
+    #[test]
+    fn delta_gamma_is_a_pure_scale(
+        g1 in 0.05f64..2.0,
+        g2 in 0.05f64..2.0,
+    ) {
+        let link = BackscatterLink::paper_default();
+        let p1 = link.with_delta_gamma(g1).received_power_at(0.5, 1.0).get();
+        let p2 = link.with_delta_gamma(g2).received_power_at(0.5, 1.0).get();
+        let expected = 20.0 * (g1 / g2).log10();
+        prop_assert!((p1 - p2 - expected).abs() < 1e-9);
+    }
+
+    /// The mixer is linear in the tag amplitudes (no noise): scaling a
+    /// tag's amplitude scales its contribution.
+    #[test]
+    fn mixer_is_linear_in_amplitude(
+        amp in 0.001f64..1.0,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let mixer = Mixer {
+            noise: NoiseModel::new(Db::new(0.0), Dbm::new(-300.0)),
+            bandwidth: Hertz::new(1.0),
+            excitation: Excitation::tone(),
+            interference: InterferenceModel::none(),
+            lead_in: 4,
+            tail: 4,
+        };
+        let mk = |a: f64| TagSignal {
+            envelope: vec![1.0, 0.0, 1.0, 1.0],
+            amplitude: a,
+            phase,
+            taps: cbma_channel::multipath::ChannelTaps::identity(),
+            delay_samples: 0.0,
+            freq_offset_rad_per_sample: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let one = mixer.combine(&mut rng, &[mk(amp)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let two = mixer.combine(&mut rng, &[mk(2.0 * amp)]);
+        for (a, b) in one.iter().zip(&two) {
+            prop_assert!((b.abs() - 2.0 * a.abs()).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Clock delays are always non-negative and bounded by the configured
+    /// jitter + drift envelope.
+    #[test]
+    fn clock_delays_are_bounded(
+        fixed in 0.0f64..20.0,
+        jitter in 0.0f64..20.0,
+        ppm in 0.0f64..100.0,
+        frame in 0usize..100_000,
+    ) {
+        let clock = ClockModel {
+            fixed_offset_samples: fixed,
+            jitter_samples: jitter,
+            drift_ppm: ppm,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            let d = clock.frame_delay(&mut rng, frame);
+            let bound = fixed + jitter + ppm * 1e-6 * frame as f64 + 1e-9;
+            prop_assert!((0.0..=bound).contains(&d), "delay {d} vs bound {bound}");
+        }
+    }
+
+    /// Fading realizations always carry finite, positive-power main taps.
+    #[test]
+    fn fading_is_physical(k in 0.0f64..100.0, seed in any::<u64>()) {
+        let model = MultipathModel {
+            k_factor: k,
+            echo_taps: 1,
+            echo_decay: 0.05,
+            max_echo_delay: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let taps = model.realize(&mut rng);
+        prop_assert!(taps.total_power().is_finite());
+        prop_assert!(taps.taps()[0].1.power() >= 0.0);
+        prop_assert_eq!(taps.taps()[0].0, 0, "main tap must be at delay 0");
+    }
+
+    /// Quantization never moves a sample by more than one LSB (with
+    /// dithering off) and preserves silence.
+    #[test]
+    fn adc_error_is_bounded(bits in 2u32..16, seed in any::<u64>()) {
+        let adc = AdcModel {
+            bits,
+            headroom: 1.25,
+            dither: false,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original: Vec<Iq> = (0..256)
+            .map(|k| Iq::from_polar(0.8, 0.37 * k as f64))
+            .collect();
+        let mut q = original.clone();
+        adc.quantize(&mut rng, &mut q);
+        let lsb = 2.0 * 0.8 * 1.25 / (1u64 << bits) as f64;
+        for (a, b) in original.iter().zip(&q) {
+            prop_assert!((a.re - b.re).abs() <= lsb + 1e-12);
+            prop_assert!((a.im - b.im).abs() <= lsb + 1e-12);
+        }
+    }
+
+    /// Interference waveforms have exactly the requested length and only
+    /// carry power while "active".
+    #[test]
+    fn interference_length_is_exact(n in 0usize..4096, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wifi = InterferenceModel::wifi(Dbm::new(-60.0), 200).waveform(&mut rng, n);
+        prop_assert_eq!(wifi.len(), n);
+        let bt = InterferenceModel::bluetooth(Dbm::new(-60.0), 100).waveform(&mut rng, n);
+        prop_assert_eq!(bt.len(), n);
+        let none = InterferenceModel::none().waveform(&mut rng, n);
+        prop_assert!(none.iter().all(|s| s.power() == 0.0));
+    }
+
+    /// Excitation masks are binary, exact-length, and tone is all-ones.
+    #[test]
+    fn excitation_masks_are_well_formed(
+        n in 0usize..4096,
+        duty in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tone = Excitation::tone().availability_mask(&mut rng, n);
+        prop_assert!(tone.iter().all(|&m| m == 1.0));
+        let ofdm = Excitation::ofdm(duty, 64).availability_mask(&mut rng, n);
+        prop_assert_eq!(ofdm.len(), n);
+        prop_assert!(ofdm.iter().all(|&m| m == 0.0 || m == 1.0));
+    }
+
+    /// The shadowing field is deterministic per position and has zero
+    /// offset when disabled.
+    #[test]
+    fn shadowing_is_frozen(x in -3.0f64..3.0, y in -3.0f64..3.0, seed in any::<u64>()) {
+        let model = cbma_channel::ShadowingModel::new(3.0, seed);
+        let p = Point::new(x, y);
+        prop_assert_eq!(model.offset_for(p), model.offset_for(p));
+        prop_assert_eq!(
+            cbma_channel::ShadowingModel::disabled().offset_for(p),
+            Db::ZERO
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! The code-family abstraction shared by Gold and 2NC codes.
+//!
+//! A [`PnCode`] is one tag's spreading sequence together with its cached
+//! bipolar forms for bit `1` and bit `0`. Per the paper's footnote 2, the
+//! chip sequence representing `0` is the negation of the one representing
+//! `1` for *both* families (the authors modified 2NC the same way).
+//!
+//! [`CodeFamily`] is the object-safe interface the tag encoder, the
+//! receiver's user detector and the simulation engine all program against.
+
+use cbma_types::{Bits, Result};
+
+/// One assigned PN spreading code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PnCode {
+    index: usize,
+    bits: Bits,
+    bipolar_one: Vec<f64>,
+    bipolar_zero: Vec<f64>,
+}
+
+impl PnCode {
+    /// Wraps a chip sequence as an assigned code.
+    pub fn new(index: usize, bits: Bits) -> PnCode {
+        let bipolar_one = bits.to_bipolar();
+        let bipolar_zero = bipolar_one.iter().map(|c| -c).collect();
+        PnCode {
+            index,
+            bits,
+            bipolar_one,
+            bipolar_zero,
+        }
+    }
+
+    /// The code's index within its family (doubles as the tag/user id).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The chip sequence for a `1` bit.
+    #[inline]
+    pub fn bits(&self) -> &Bits {
+        &self.bits
+    }
+
+    /// Number of chips per data bit (the spreading factor).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the code is empty (never true for family-produced codes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The chip sequence transmitted for `bit` (complement signalling).
+    pub fn chips_for(&self, bit: u8) -> Bits {
+        debug_assert!(bit <= 1);
+        if bit == 1 {
+            self.bits.clone()
+        } else {
+            self.bits.complement()
+        }
+    }
+
+    /// Bipolar (±1) reference for a `1` bit — the correlation template.
+    #[inline]
+    pub fn bipolar_one(&self) -> &[f64] {
+        &self.bipolar_one
+    }
+
+    /// Bipolar reference for a `0` bit (the negation of
+    /// [`bipolar_one`](PnCode::bipolar_one)).
+    #[inline]
+    pub fn bipolar_zero(&self) -> &[f64] {
+        &self.bipolar_zero
+    }
+}
+
+/// A family of PN codes assignable to tags.
+///
+/// Implementations are value types constructed up front; `code` is
+/// infallible for indices below [`capacity`](CodeFamily::capacity).
+pub trait CodeFamily: std::fmt::Debug {
+    /// Family name for reports, e.g. `"gold"` or `"2nc"`.
+    fn name(&self) -> &'static str;
+
+    /// Chips per data bit.
+    fn spreading_factor(&self) -> usize;
+
+    /// Number of distinct codes the family can assign.
+    fn capacity(&self) -> usize;
+
+    /// Returns the code at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cbma_types::CbmaError::CodeUnavailable`] when `index` is
+    /// at or beyond [`capacity`](CodeFamily::capacity).
+    fn code(&self, index: usize) -> Result<PnCode>;
+
+    /// Returns the first `n` codes of the family.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unavailable index.
+    fn codes(&self, n: usize) -> Result<Vec<PnCode>> {
+        (0..n).map(|i| self.code(i)).collect()
+    }
+}
+
+/// Configuration selector for the two families the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyKind {
+    /// Gold codes of the given LFSR degree (spreading factor 2ⁿ − 1).
+    Gold {
+        /// LFSR degree n; supported values are 5, 6 and 7.
+        degree: u32,
+    },
+    /// 2NC codes dimensioned for the given number of users.
+    TwoNc {
+        /// Number of concurrent users the family must support.
+        users: usize,
+    },
+    /// Small-set Kasami codes of the given even LFSR degree (spreading
+    /// factor 2ⁿ − 1) — a reproduction extension with the tightest
+    /// cross-correlation bound of the three families.
+    Kasami {
+        /// Even LFSR degree n; supported values are 6, 8 and 10.
+        degree: u32,
+    },
+}
+
+impl FamilyKind {
+    /// Builds the concrete family.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the family (unsupported degree,
+    /// zero users, …).
+    pub fn build(self) -> Result<Box<dyn CodeFamily + Send + Sync>> {
+        match self {
+            FamilyKind::Gold { degree } => Ok(Box::new(crate::gold::GoldFamily::new(degree)?)),
+            FamilyKind::TwoNc { users } => Ok(Box::new(crate::twonc::TwoNcFamily::new(users)?)),
+            FamilyKind::Kasami { degree } => {
+                Ok(Box::new(crate::kasami::KasamiFamily::new(degree)?))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FamilyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilyKind::Gold { degree } => write!(f, "gold(n={degree})"),
+            FamilyKind::TwoNc { users } => write!(f, "2nc(users={users})"),
+            FamilyKind::Kasami { degree } => write!(f, "kasami(n={degree})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chips_for_zero_is_complement() {
+        let code = PnCode::new(0, Bits::from_str("01001").unwrap());
+        assert_eq!(code.chips_for(1).to_string(), "01001");
+        assert_eq!(code.chips_for(0).to_string(), "10110");
+        assert_eq!(code.len(), 5);
+        assert!(!code.is_empty());
+    }
+
+    #[test]
+    fn bipolar_zero_is_negated_one() {
+        let code = PnCode::new(3, Bits::from_str("110").unwrap());
+        assert_eq!(code.bipolar_one(), &[1.0, 1.0, -1.0]);
+        assert_eq!(code.bipolar_zero(), &[-1.0, -1.0, 1.0]);
+        assert_eq!(code.index(), 3);
+    }
+
+    #[test]
+    fn family_kind_builds_both_families() {
+        let gold = FamilyKind::Gold { degree: 5 }.build().unwrap();
+        assert_eq!(gold.name(), "gold");
+        assert_eq!(gold.spreading_factor(), 31);
+        let twonc = FamilyKind::TwoNc { users: 5 }.build().unwrap();
+        assert_eq!(twonc.name(), "2nc");
+        assert!(twonc.capacity() >= 5);
+    }
+
+    #[test]
+    fn family_kind_display() {
+        assert_eq!(FamilyKind::Gold { degree: 6 }.to_string(), "gold(n=6)");
+        assert_eq!(FamilyKind::TwoNc { users: 10 }.to_string(), "2nc(users=10)");
+        assert_eq!(FamilyKind::Kasami { degree: 6 }.to_string(), "kasami(n=6)");
+    }
+
+    #[test]
+    fn family_kind_builds_kasami() {
+        let kasami = FamilyKind::Kasami { degree: 6 }.build().unwrap();
+        assert_eq!(kasami.name(), "kasami");
+        assert_eq!(kasami.spreading_factor(), 63);
+        assert_eq!(kasami.capacity(), 8);
+    }
+
+    #[test]
+    fn codes_helper_returns_distinct_codes() {
+        let family = FamilyKind::Gold { degree: 5 }.build().unwrap();
+        let codes = family.codes(8).unwrap();
+        assert_eq!(codes.len(), 8);
+        for i in 0..codes.len() {
+            for j in i + 1..codes.len() {
+                assert_ne!(
+                    codes[i].bits(),
+                    codes[j].bits(),
+                    "codes {i} and {j} collide"
+                );
+            }
+        }
+    }
+}

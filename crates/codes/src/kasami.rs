@@ -1,0 +1,199 @@
+//! Kasami codes (small set) — a reproduction extension.
+//!
+//! The paper evaluates Gold and 2NC codes; the small-set Kasami family is
+//! the classic third option, meeting the Welch lower bound on maximum
+//! cross-correlation: for even degree n it provides 2^(n/2) sequences of
+//! length 2ⁿ − 1 with correlations in {−1, −s(n), s(n) − 2} where
+//! s(n) = 2^(n/2) + 1 — strictly tighter than Gold's t(n) = 2^(n/2+1) + 1.
+//! Included for the code-family ablation; wired into
+//! [`FamilyKind`](crate::family::FamilyKind) as `Kasami`.
+//!
+//! Construction: take an m-sequence u of even degree n; decimate it by
+//! 2^(n/2) + 1 to get w (period 2^(n/2) − 1); the family is
+//! {u} ∪ {u ⊕ shiftₖ(w) : k = 0 … 2^(n/2) − 2}.
+
+use cbma_types::{Bits, CbmaError, Result};
+
+use crate::family::{CodeFamily, PnCode};
+use crate::msequence::m_sequence;
+
+/// The small-set Kasami family for an even LFSR degree.
+#[derive(Debug, Clone)]
+pub struct KasamiFamily {
+    degree: u32,
+    u: Bits,
+    /// The decimated sequence, repeated to full length.
+    w: Bits,
+}
+
+impl KasamiFamily {
+    /// Constructs the family for even `degree` ∈ {6, 8, 10} (spreading
+    /// factors 63, 255, 1023).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::CodeUnavailable`] for odd or unsupported
+    /// degrees.
+    pub fn new(degree: u32) -> Result<KasamiFamily> {
+        if degree % 2 != 0 || !(6..=10).contains(&degree) {
+            return Err(CbmaError::CodeUnavailable {
+                family: "kasami",
+                reason: format!("degree must be even and in 6..=10, got {degree}"),
+            });
+        }
+        let u = m_sequence(degree)?;
+        let n = u.len();
+        let dec = (1usize << (degree / 2)) + 1;
+        // Decimation u[(k·dec) mod N] yields a sequence of period
+        // 2^(n/2) − 1, replicated across the full length.
+        let w: Bits = (0..n).map(|k| u[(k * dec) % n]).collect();
+        Ok(KasamiFamily { degree, u, w })
+    }
+
+    /// The LFSR degree n.
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// The theoretical peak cross-correlation magnitude s(n) = 2^(n/2)+1.
+    pub fn s_bound(&self) -> i64 {
+        (1i64 << (self.degree / 2)) + 1
+    }
+
+    /// The short period of the decimated sequence: 2^(n/2) − 1.
+    pub fn short_period(&self) -> usize {
+        (1usize << (self.degree / 2)) - 1
+    }
+}
+
+impl CodeFamily for KasamiFamily {
+    fn name(&self) -> &'static str {
+        "kasami"
+    }
+
+    fn spreading_factor(&self) -> usize {
+        self.u.len()
+    }
+
+    fn capacity(&self) -> usize {
+        // u plus one code per distinct shift of w.
+        1 << (self.degree / 2)
+    }
+
+    fn code(&self, index: usize) -> Result<PnCode> {
+        if index >= self.capacity() {
+            return Err(CbmaError::CodeUnavailable {
+                family: "kasami",
+                reason: format!("index {index} out of range (capacity {})", self.capacity()),
+            });
+        }
+        let bits = match index {
+            0 => self.u.clone(),
+            k => self
+                .u
+                .xor(&self.w.rotate_left((k - 1) % self.short_period())),
+        };
+        Ok(PnCode::new(index, bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_cross(a: &Bits, b: &Bits, lag: usize) -> i64 {
+        let n = a.len();
+        (0..n)
+            .map(|i| (i64::from(a[i]) * 2 - 1) * (i64::from(b[(i + lag) % n]) * 2 - 1))
+            .sum()
+    }
+
+    #[test]
+    fn dimensions_degree_6() {
+        let k = KasamiFamily::new(6).unwrap();
+        assert_eq!(k.spreading_factor(), 63);
+        assert_eq!(k.capacity(), 8);
+        assert_eq!(k.s_bound(), 9);
+        assert_eq!(k.short_period(), 7);
+    }
+
+    #[test]
+    fn odd_and_out_of_range_degrees_rejected() {
+        assert!(KasamiFamily::new(5).is_err());
+        assert!(KasamiFamily::new(7).is_err());
+        assert!(KasamiFamily::new(4).is_err());
+        assert!(KasamiFamily::new(12).is_err());
+    }
+
+    #[test]
+    fn decimated_sequence_has_short_period() {
+        let k = KasamiFamily::new(6).unwrap();
+        // w repeats with period 7 across its 63 chips.
+        for i in 0..63 - 7 {
+            assert_eq!(k.w[i], k.w[i + 7], "w not 7-periodic at {i}");
+        }
+        // ... and is not constant.
+        assert!(k.w.count_ones() > 0 && k.w.count_ones() < 63);
+    }
+
+    #[test]
+    fn cross_correlation_is_three_valued() {
+        // The defining Kasami property: every pairwise periodic
+        // cross-correlation lies in {−1, −s, s−2} with s = 9 for n = 6.
+        let family = KasamiFamily::new(6).unwrap();
+        let s = family.s_bound();
+        let allowed = [-1, -s, s - 2];
+        let codes: Vec<Bits> = (0..family.capacity())
+            .map(|i| family.code(i).unwrap().bits().clone())
+            .collect();
+        for i in 0..codes.len() {
+            for j in i + 1..codes.len() {
+                for lag in 0..63 {
+                    let c = periodic_cross(&codes[i], &codes[j], lag);
+                    assert!(
+                        allowed.contains(&c),
+                        "codes ({i},{j}) lag {lag}: {c} not in {allowed:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kasami_bound_is_tighter_than_gold() {
+        // Same length regime: Kasami-63 s = 9 vs Gold-63 t = 17.
+        let kasami = KasamiFamily::new(6).unwrap();
+        let gold = crate::gold::GoldFamily::new(6).unwrap();
+        assert!(kasami.s_bound() < gold.t_bound());
+        assert_eq!(kasami.spreading_factor(), gold.spreading_factor());
+    }
+
+    #[test]
+    fn all_codes_distinct_and_bounds_checked() {
+        let family = KasamiFamily::new(6).unwrap();
+        let codes = family.codes(family.capacity()).unwrap();
+        for i in 0..codes.len() {
+            for j in i + 1..codes.len() {
+                assert_ne!(codes[i].bits(), codes[j].bits());
+            }
+        }
+        assert!(family.code(family.capacity()).is_err());
+    }
+
+    #[test]
+    fn degree_8_family_works() {
+        let family = KasamiFamily::new(8).unwrap();
+        assert_eq!(family.spreading_factor(), 255);
+        assert_eq!(family.capacity(), 16);
+        assert_eq!(family.s_bound(), 17);
+        // Spot-check the three-valued property on a few pairs.
+        let a = family.code(1).unwrap();
+        let b = family.code(5).unwrap();
+        let allowed = [-1i64, -17, 15];
+        for lag in [0usize, 1, 50, 100, 200] {
+            let c = periodic_cross(a.bits(), b.bits(), lag);
+            assert!(allowed.contains(&c), "lag {lag}: {c}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Linear-feedback shift registers.
+//!
+//! The deterministic generator behind every PN sequence (§II-C: a PN code
+//! "appears randomly but can be reproduced in a deterministic manner by
+//! intended receivers"). [`Lfsr`] is a Fibonacci-configuration register
+//! parameterized by its feedback polynomial; with a primitive polynomial it
+//! produces a maximal-length sequence of period 2ⁿ − 1.
+
+use cbma_types::{CbmaError, Result};
+
+/// A Fibonacci LFSR over GF(2).
+///
+/// The feedback polynomial is given as a bitmask over the exponents
+/// 0..=degree, e.g. x⁵ + x² + 1 is `0b10_0101` (bit 5, bit 2, bit 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    degree: u32,
+    /// Right-shift amounts contributing to the feedback bit.
+    shifts: Vec<u32>,
+    state: u64,
+    initial_state: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR from a feedback polynomial bitmask and a non-zero
+    /// initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] when the polynomial lacks the
+    /// x⁰ or xⁿ term, the degree is outside 2..=24, or the state is zero
+    /// or does not fit in `degree` bits.
+    pub fn new(polynomial: u64, state: u64) -> Result<Lfsr> {
+        let degree = 63 - polynomial.leading_zeros();
+        if degree < 2 || degree > 24 {
+            return Err(CbmaError::InvalidConfig(format!(
+                "lfsr degree must be in 2..=24, polynomial implies {degree}"
+            )));
+        }
+        if polynomial & 1 == 0 {
+            return Err(CbmaError::InvalidConfig(
+                "feedback polynomial must contain the constant term".into(),
+            ));
+        }
+        if state == 0 || state >> degree != 0 {
+            return Err(CbmaError::InvalidConfig(format!(
+                "state must be non-zero and fit in {degree} bits"
+            )));
+        }
+        // Feedback = XOR of register bits tapped at (degree - exponent) for
+        // every non-constant polynomial term (standard Fibonacci taps).
+        let shifts = (1..=degree)
+            .filter(|&e| (polynomial >> e) & 1 == 1)
+            .map(|e| degree - e)
+            .collect();
+        Ok(Lfsr {
+            degree,
+            shifts,
+            state,
+            initial_state: state,
+        })
+    }
+
+    /// Creates an LFSR from the polynomial's octal notation (the form used
+    /// in spreading-code literature, e.g. Gold's preferred pair [45, 75]
+    /// for degree 5).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lfsr::new`].
+    pub fn from_octal(octal: u64, state: u64) -> Result<Lfsr> {
+        let mut value = 0u64;
+        let mut digits = Vec::new();
+        let mut o = octal;
+        if o == 0 {
+            return Err(CbmaError::InvalidConfig("octal polynomial is zero".into()));
+        }
+        while o > 0 {
+            digits.push(o % 10);
+            o /= 10;
+        }
+        for &d in digits.iter().rev() {
+            if d > 7 {
+                return Err(CbmaError::InvalidConfig(format!(
+                    "{octal} is not valid octal notation"
+                )));
+            }
+            value = (value << 3) | d;
+        }
+        Lfsr::new(value, state)
+    }
+
+    /// The register length n.
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Period of a maximal-length sequence for this degree: 2ⁿ − 1.
+    #[inline]
+    pub fn max_period(&self) -> usize {
+        (1usize << self.degree) - 1
+    }
+
+    /// Advances one step and returns the output bit.
+    pub fn step(&mut self) -> u8 {
+        let feedback = self
+            .shifts
+            .iter()
+            .fold(0u64, |acc, &s| acc ^ (self.state >> s))
+            & 1;
+        let out = (self.state & 1) as u8;
+        self.state = (self.state >> 1) | (feedback << (self.degree - 1));
+        out
+    }
+
+    /// Produces the next `n` output bits.
+    pub fn take_bits(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Resets to the initial state.
+    pub fn reset(&mut self) {
+        self.state = self.initial_state;
+    }
+
+    /// Measures the actual period by stepping until the state recurs.
+    /// Useful for validating that a polynomial is primitive.
+    pub fn measure_period(&self) -> usize {
+        let mut probe = self.clone();
+        probe.reset();
+        let start = probe.state;
+        let mut count = 0usize;
+        loop {
+            probe.step();
+            count += 1;
+            if probe.state == start || count > probe.max_period() + 1 {
+                return count;
+            }
+        }
+    }
+}
+
+impl Iterator for Lfsr {
+    type Item = u8;
+    fn next(&mut self) -> Option<u8> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_degree_5_reaches_full_period() {
+        // x^5 + x^2 + 1 (octal 45) is primitive: period 31.
+        let lfsr = Lfsr::from_octal(45, 1).unwrap();
+        assert_eq!(lfsr.degree(), 5);
+        assert_eq!(lfsr.measure_period(), 31);
+    }
+
+    #[test]
+    fn primitive_degree_6_and_7() {
+        assert_eq!(Lfsr::from_octal(103, 1).unwrap().measure_period(), 63);
+        assert_eq!(Lfsr::from_octal(211, 1).unwrap().measure_period(), 127);
+    }
+
+    #[test]
+    fn non_primitive_polynomial_has_short_period() {
+        // x^4 + x^2 + 1 = (x^2+x+1)^2 is not primitive.
+        let lfsr = Lfsr::new(0b1_0101, 1).unwrap();
+        assert!(lfsr.measure_period() < lfsr.max_period());
+    }
+
+    #[test]
+    fn sequence_repeats_with_period() {
+        let mut lfsr = Lfsr::from_octal(45, 0b1_0110).unwrap();
+        let first: Vec<u8> = lfsr.take_bits(31);
+        let second: Vec<u8> = lfsr.take_bits(31);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_seeds_give_shifted_sequences() {
+        let a = Lfsr::from_octal(45, 1)
+            .unwrap()
+            .take(62)
+            .collect::<Vec<_>>();
+        let b = Lfsr::from_octal(45, 7)
+            .unwrap()
+            .take(31)
+            .collect::<Vec<_>>();
+        // b must appear as a cyclic shift of a's period.
+        let found = (0..31).any(|s| (0..31).all(|i| b[i] == a[s + i]));
+        assert!(found, "seeded sequence is not a cyclic shift");
+    }
+
+    #[test]
+    fn m_sequence_is_balanced() {
+        // An m-sequence of period 2^n - 1 has 2^(n-1) ones.
+        let mut lfsr = Lfsr::from_octal(45, 1).unwrap();
+        let bits = lfsr.take_bits(31);
+        assert_eq!(bits.iter().filter(|&&b| b == 1).count(), 16);
+    }
+
+    #[test]
+    fn reset_restores_stream() {
+        let mut lfsr = Lfsr::from_octal(103, 5).unwrap();
+        let a = lfsr.take_bits(20);
+        lfsr.reset();
+        let b = lfsr.take_bits(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Lfsr::new(0b100, 1).is_err()); // no constant term
+        assert!(Lfsr::new(0b101, 0).is_err()); // zero state
+        assert!(Lfsr::new(0b101, 0b100).is_err()); // state too wide
+        assert!(Lfsr::new(0b11, 1).is_err()); // degree 1
+        assert!(Lfsr::from_octal(48, 1).is_err()); // digit 8 invalid
+        assert!(Lfsr::from_octal(0, 1).is_err());
+    }
+
+    #[test]
+    fn octal_matches_binary_form() {
+        // 45 octal = 100101 binary.
+        let a = Lfsr::from_octal(45, 1).unwrap();
+        let b = Lfsr::new(0b10_0101, 1).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Maximal-length sequences (m-sequences).
+//!
+//! An m-sequence of degree n has period 2ⁿ − 1, is balanced (2ⁿ⁻¹ ones),
+//! and has the ideal two-valued periodic autocorrelation {N, −1} — the
+//! properties Gold-code construction relies on. This module carries the
+//! primitive-polynomial table (octal notation) for degrees 3..=10 and
+//! generates full-period sequences.
+
+use cbma_types::{Bits, CbmaError, Result};
+
+use crate::lfsr::Lfsr;
+
+/// One primitive polynomial (octal) per supported degree — the first entry
+/// of each degree's standard table.
+const PRIMITIVE_OCTAL: &[(u32, u64)] = &[
+    (2, 7),
+    (3, 13),
+    (4, 23),
+    (5, 45),
+    (6, 103),
+    (7, 211),
+    (8, 435),
+    (9, 1021),
+    (10, 2011),
+];
+
+/// Returns a primitive polynomial (octal notation) for `degree`.
+///
+/// # Errors
+///
+/// Returns [`CbmaError::CodeUnavailable`] for degrees outside 3..=10.
+pub fn primitive_polynomial_octal(degree: u32) -> Result<u64> {
+    PRIMITIVE_OCTAL
+        .iter()
+        .find(|(d, _)| *d == degree)
+        .map(|(_, p)| *p)
+        .ok_or_else(|| CbmaError::CodeUnavailable {
+            family: "m-sequence",
+            reason: format!("no primitive polynomial tabulated for degree {degree}"),
+        })
+}
+
+/// Generates one full period (2ⁿ − 1 bits) of the m-sequence produced by
+/// the given polynomial (octal notation), starting from state 1.
+///
+/// # Errors
+///
+/// Returns an error if the polynomial is malformed (see [`Lfsr::new`]) or
+/// does not actually reach full period (i.e. is not primitive).
+pub fn m_sequence_from_octal(octal: u64) -> Result<Bits> {
+    let mut lfsr = Lfsr::from_octal(octal, 1)?;
+    let period = lfsr.measure_period();
+    if period != lfsr.max_period() {
+        return Err(CbmaError::CodeUnavailable {
+            family: "m-sequence",
+            reason: format!(
+                "polynomial {octal} (octal) has period {period}, expected {}",
+                lfsr.max_period()
+            ),
+        });
+    }
+    lfsr.reset();
+    let bits = lfsr.take_bits(period);
+    Bits::from_slice(&bits)
+}
+
+/// Generates one full period of the canonical m-sequence for `degree`.
+///
+/// # Errors
+///
+/// Returns [`CbmaError::CodeUnavailable`] for unsupported degrees.
+pub fn m_sequence(degree: u32) -> Result<Bits> {
+    m_sequence_from_octal(primitive_polynomial_octal(degree)?)
+}
+
+/// Periodic autocorrelation of a ±1-mapped binary sequence at `lag`.
+pub fn periodic_autocorrelation(seq: &Bits, lag: usize) -> i64 {
+    let n = seq.len();
+    let mut acc = 0i64;
+    for i in 0..n {
+        let a = i64::from(seq[i]) * 2 - 1;
+        let b = i64::from(seq[(i + lag) % n]) * 2 - 1;
+        acc += a * b;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tabulated_polynomials_are_primitive() {
+        for &(degree, octal) in PRIMITIVE_OCTAL {
+            let seq =
+                m_sequence_from_octal(octal).unwrap_or_else(|e| panic!("degree {degree}: {e}"));
+            assert_eq!(seq.len(), (1 << degree) - 1);
+        }
+    }
+
+    #[test]
+    fn m_sequences_are_balanced() {
+        for degree in 3..=10 {
+            let seq = m_sequence(degree).unwrap();
+            assert_eq!(
+                seq.count_ones(),
+                1 << (degree - 1),
+                "degree {degree} not balanced"
+            );
+        }
+    }
+
+    #[test]
+    fn autocorrelation_is_two_valued() {
+        // Ideal m-sequence autocorrelation: N at lag 0, exactly -1 at every
+        // other lag.
+        let seq = m_sequence(5).unwrap();
+        assert_eq!(periodic_autocorrelation(&seq, 0), 31);
+        for lag in 1..31 {
+            assert_eq!(periodic_autocorrelation(&seq, lag), -1, "lag {lag}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_degree_7() {
+        let seq = m_sequence(7).unwrap();
+        assert_eq!(periodic_autocorrelation(&seq, 0), 127);
+        for lag in 1..127 {
+            assert_eq!(periodic_autocorrelation(&seq, lag), -1);
+        }
+    }
+
+    #[test]
+    fn unsupported_degree_is_reported() {
+        assert!(matches!(
+            m_sequence(1),
+            Err(CbmaError::CodeUnavailable { .. })
+        ));
+        assert!(m_sequence(11).is_err());
+    }
+
+    #[test]
+    fn degree_2_sequence_exists_for_scrambling() {
+        let seq = m_sequence(2).unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.count_ones(), 2);
+    }
+
+    #[test]
+    fn non_primitive_polynomial_rejected() {
+        // x^4 + x^2 + 1 is not primitive.
+        assert!(matches!(
+            m_sequence_from_octal(25),
+            Err(CbmaError::CodeUnavailable { .. })
+        ));
+    }
+}

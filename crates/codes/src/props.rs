@@ -1,0 +1,161 @@
+//! Correlation-property analysis of code sets.
+//!
+//! Quantifies the auto- and cross-correlation behaviour that determines a
+//! family's multi-access interference (§II-C), so tests and the Fig. 9(b)
+//! bench can compare Gold and 2NC on the metric that actually drives the
+//! decode error rate.
+
+use crate::family::PnCode;
+
+/// Summary statistics of a set of spreading codes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationReport {
+    /// Number of codes analyzed.
+    pub codes: usize,
+    /// Spreading factor (chips per bit).
+    pub length: usize,
+    /// Largest |periodic cross-correlation| over all pairs and lags,
+    /// normalized by the code length (0 = orthogonal at all lags).
+    pub max_cross: f64,
+    /// Largest |periodic autocorrelation sidelobe| over all codes and
+    /// non-zero lags, normalized by code length.
+    pub max_auto_sidelobe: f64,
+    /// Mean |cross-correlation| over all pairs and lags, normalized.
+    pub mean_cross: f64,
+    /// Largest |aligned (lag-0) cross-correlation| over all pairs,
+    /// normalized — the figure of merit for chip-synchronous operation.
+    pub max_aligned_cross: f64,
+}
+
+impl CorrelationReport {
+    /// Analyzes a set of codes. All codes must share one length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty or lengths differ.
+    pub fn analyze(codes: &[PnCode]) -> CorrelationReport {
+        assert!(!codes.is_empty(), "need at least one code to analyze");
+        let length = codes[0].len();
+        assert!(
+            codes.iter().all(|c| c.len() == length),
+            "all codes must share one length"
+        );
+        let n = length as f64;
+        let bipolar: Vec<&[f64]> = codes.iter().map(|c| c.bipolar_one()).collect();
+
+        let periodic = |a: &[f64], b: &[f64], lag: usize| -> f64 {
+            (0..length).map(|i| a[i] * b[(i + lag) % length]).sum()
+        };
+
+        let mut max_cross = 0.0f64;
+        let mut max_aligned = 0.0f64;
+        let mut cross_sum = 0.0f64;
+        let mut cross_count = 0usize;
+        for i in 0..bipolar.len() {
+            for j in i + 1..bipolar.len() {
+                for lag in 0..length {
+                    let c = periodic(bipolar[i], bipolar[j], lag).abs() / n;
+                    max_cross = max_cross.max(c);
+                    cross_sum += c;
+                    cross_count += 1;
+                    if lag == 0 {
+                        max_aligned = max_aligned.max(c);
+                    }
+                }
+            }
+        }
+
+        let mut max_auto = 0.0f64;
+        for b in &bipolar {
+            for lag in 1..length {
+                max_auto = max_auto.max(periodic(b, b, lag).abs() / n);
+            }
+        }
+
+        CorrelationReport {
+            codes: codes.len(),
+            length,
+            max_cross,
+            max_auto_sidelobe: max_auto,
+            mean_cross: if cross_count > 0 {
+                cross_sum / cross_count as f64
+            } else {
+                0.0
+            },
+            max_aligned_cross: max_aligned,
+        }
+    }
+}
+
+impl std::fmt::Display for CorrelationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} codes × {} chips: max cross {:.3}, aligned cross {:.3}, auto sidelobe {:.3}, mean cross {:.3}",
+            self.codes,
+            self.length,
+            self.max_cross,
+            self.max_aligned_cross,
+            self.max_auto_sidelobe,
+            self.mean_cross
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::CodeFamily;
+    use crate::gold::GoldFamily;
+    use crate::twonc::TwoNcFamily;
+
+    #[test]
+    fn gold_report_matches_theory() {
+        let family = GoldFamily::new(5).unwrap();
+        let codes = family.codes(10).unwrap();
+        let report = CorrelationReport::analyze(&codes);
+        assert_eq!(report.codes, 10);
+        assert_eq!(report.length, 31);
+        // Theory: max |cross| = t(n)/N = 9/31.
+        assert!((report.max_cross - 9.0 / 31.0).abs() < 1e-9);
+        assert!(report.max_auto_sidelobe <= 9.0 / 31.0 + 1e-9);
+    }
+
+    #[test]
+    fn twonc_aligned_cross_is_zero() {
+        let family = TwoNcFamily::new(5).unwrap();
+        let report = CorrelationReport::analyze(&family.codes(5).unwrap());
+        assert_eq!(report.max_aligned_cross, 0.0);
+    }
+
+    #[test]
+    fn twonc_beats_gold_on_aligned_cross() {
+        // The quantitative heart of Fig. 9(b).
+        let gold = CorrelationReport::analyze(&GoldFamily::new(5).unwrap().codes(5).unwrap());
+        let twonc = CorrelationReport::analyze(&TwoNcFamily::new(5).unwrap().codes(5).unwrap());
+        assert!(twonc.max_aligned_cross < gold.max_aligned_cross);
+    }
+
+    #[test]
+    fn single_code_has_zero_cross() {
+        let family = GoldFamily::new(5).unwrap();
+        let report = CorrelationReport::analyze(&family.codes(1).unwrap());
+        assert_eq!(report.max_cross, 0.0);
+        assert_eq!(report.mean_cross, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one code")]
+    fn empty_set_panics() {
+        CorrelationReport::analyze(&[]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let family = GoldFamily::new(5).unwrap();
+        let report = CorrelationReport::analyze(&family.codes(3).unwrap());
+        let s = report.to_string();
+        assert!(s.contains("3 codes"));
+        assert!(s.contains("31 chips"));
+    }
+}

@@ -1,0 +1,272 @@
+//! 2NC codes (ref. \[9\] of the paper, as modified by the authors).
+//!
+//! The paper adopts "2NC" codes from *Turbocharging Ambient Backscatter
+//! Communication* and modifies them so that "the chip representing 0 is the
+//! negation of that representing 1" (footnote 2). The evaluation relies on
+//! exactly one property of the family: **strictly better orthogonality
+//! than Gold codes**, which is what makes 2NC the winner in Fig. 9(b).
+//!
+//! We realize the family as rows of the order-2N Walsh–Hadamard
+//! construction (skipping the all-ones row), XOR-scrambled by a common
+//! m-sequence overlay: for N users the spreading factor is the smallest
+//! power of two ≥ 2N, every pair of codes is exactly orthogonal when
+//! chip-aligned (the shared overlay cancels in the product), and
+//! complement signalling carries bit 0. The overlay matters because raw
+//! Walsh rows are cyclic shifts/complements of one another, so an
+//! asynchronous tag would alias into a *different* user's code — the
+//! scrambling breaks that shift structure exactly the way channelization-
+//! plus-scrambling does in deployed CDMA systems. DESIGN.md documents this
+//! interpretation and why it preserves the paper's comparison.
+
+use cbma_types::{Bits, CbmaError, Result};
+
+use crate::family::{CodeFamily, PnCode};
+use crate::msequence::m_sequence;
+use crate::walsh::hadamard_rows;
+
+/// Builds the scrambling overlay for a given code length (power of two):
+/// the degree-n m-sequence (length 2ⁿ − 1) extended by one leading `1`.
+fn scrambling_overlay(length: usize) -> Result<Bits> {
+    debug_assert!(length.is_power_of_two() && length >= 16);
+    let degree = length.trailing_zeros();
+    let seq = m_sequence(degree)?;
+    let mut overlay = Bits::with_capacity(length);
+    overlay.push(1);
+    overlay.extend_bits(&seq);
+    Ok(overlay)
+}
+
+/// The 2NC code family dimensioned for a target user count.
+#[derive(Debug, Clone)]
+pub struct TwoNcFamily {
+    users: usize,
+    /// Scrambled codes, ordered most-balanced first. Balance matters for
+    /// OOK: only the `1` chips radiate, so a code with few ones carries
+    /// little correlation energy for bit 1 (and vice versa); assigning the
+    /// most balanced codes first equalizes per-user decode margins.
+    codes: Vec<Bits>,
+}
+
+impl TwoNcFamily {
+    /// Builds the family for up to `users` concurrent tags.
+    ///
+    /// The spreading factor is the smallest power of two that is at least
+    /// `2 × users` (the "2N" in the name), with a floor of 16 — shorter
+    /// scrambled codes have too few chips per bit for reliable OOK
+    /// correlation and grossly imbalanced rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] when `users` is zero.
+    pub fn new(users: usize) -> Result<TwoNcFamily> {
+        if users == 0 {
+            return Err(CbmaError::InvalidConfig(
+                "2nc family needs at least one user".into(),
+            ));
+        }
+        let length = (2 * users).next_power_of_two().max(16);
+        let rows = hadamard_rows(length)?;
+        let overlay = scrambling_overlay(length)?;
+        // Row 0 (all ones) is unusable for OOK complement signalling; the
+        // rest are scrambled, then *ordered* so that early assignments are
+        // balanced AND mutually well-separated under cyclic shifts
+        // (asynchronous tags see shifted cross-correlations, so a pair
+        // with a high shifted cross aliases into each other).
+        let mut pool: Vec<Bits> = rows[1..].iter().map(|r| r.xor(&overlay)).collect();
+        pool.sort_by_key(|c| {
+            let imbalance = (2 * c.count_ones() as i64 - length as i64).unsigned_abs();
+            (imbalance, c.to_string())
+        });
+        let max_cross = |a: &Bits, b: &Bits| -> i64 {
+            let ba = a.to_bipolar();
+            let bb = b.to_bipolar();
+            (0..length)
+                .map(|lag| {
+                    (0..length)
+                        .map(|k| (ba[k] * bb[(k + lag) % length]) as i64)
+                        .sum::<i64>()
+                        .abs()
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let mut codes: Vec<Bits> = Vec::with_capacity(pool.len());
+        // Greedy: tighten admission to a shifted-cross bound of L/4,
+        // relaxing in L/8 steps until the pool drains (capacity must stay
+        // at 2N−1; the ordering just puts the good codes first).
+        let mut bound = (length / 4) as i64;
+        while !pool.is_empty() {
+            let mut admitted_any = false;
+            let mut i = 0;
+            while i < pool.len() {
+                if codes.iter().all(|c| max_cross(c, &pool[i]) <= bound) {
+                    codes.push(pool.remove(i));
+                    admitted_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !admitted_any {
+                bound += (length / 8).max(1) as i64;
+            }
+        }
+        Ok(TwoNcFamily { users, codes })
+    }
+
+    /// The family sized for the paper's 10-tag testbed.
+    pub fn paper_default() -> TwoNcFamily {
+        TwoNcFamily::new(10).expect("10 users is a valid 2nc configuration")
+    }
+
+    /// The user count the family was dimensioned for.
+    #[inline]
+    pub fn users(&self) -> usize {
+        self.users
+    }
+}
+
+impl CodeFamily for TwoNcFamily {
+    fn name(&self) -> &'static str {
+        "2nc"
+    }
+
+    fn spreading_factor(&self) -> usize {
+        self.codes[0].len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.codes.len()
+    }
+
+    fn code(&self, index: usize) -> Result<PnCode> {
+        if index >= self.capacity() {
+            return Err(CbmaError::CodeUnavailable {
+                family: "2nc",
+                reason: format!("index {index} out of range (capacity {})", self.capacity()),
+            });
+        }
+        Ok(PnCode::new(index, self.codes[index].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walsh::row_dot;
+
+    #[test]
+    fn sizing_rule() {
+        assert_eq!(TwoNcFamily::new(2).unwrap().spreading_factor(), 16);
+        assert_eq!(TwoNcFamily::new(5).unwrap().spreading_factor(), 16);
+        assert_eq!(TwoNcFamily::new(10).unwrap().spreading_factor(), 32);
+        assert_eq!(TwoNcFamily::new(1).unwrap().spreading_factor(), 16);
+    }
+
+    #[test]
+    fn codes_are_exactly_orthogonal_when_aligned() {
+        let family = TwoNcFamily::new(10).unwrap();
+        let codes = family.codes(10).unwrap();
+        for i in 0..codes.len() {
+            for j in 0..codes.len() {
+                let dot = row_dot(codes[i].bits(), codes[j].bits());
+                if i == j {
+                    assert_eq!(dot, family.spreading_factor() as i64);
+                } else {
+                    assert_eq!(dot, 0, "codes ({i},{j}) not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_near_balanced() {
+        // The scrambling overlay perturbs the exact Walsh balance; the
+        // decoder tolerates imbalance (its gain scale and sign test use
+        // the actual chip sums), but a grossly one-sided code would hurt
+        // OOK energy detection, so require ones within L/4 of half.
+        let family = TwoNcFamily::new(8).unwrap();
+        let l = family.spreading_factor() as i64;
+        for code in family.codes(8).unwrap() {
+            let ones = code.bits().count_ones() as i64;
+            assert!(
+                (ones - l / 2).abs() <= l / 4,
+                "code {} ones={ones} of {l}",
+                code.index()
+            );
+        }
+    }
+
+    #[test]
+    fn codes_are_not_cyclic_shifts_of_each_other() {
+        // The scrambling overlay must break the raw-Walsh shift aliasing:
+        // no code may equal a cyclic shift of another code or of its
+        // complement (that aliasing produced phantom users under
+        // asynchronous arrival).
+        let family = TwoNcFamily::new(5).unwrap();
+        let codes = family.codes(5).unwrap();
+        for i in 0..codes.len() {
+            for j in 0..codes.len() {
+                if i == j {
+                    continue;
+                }
+                for shift in 0..family.spreading_factor() {
+                    let rotated = codes[j].bits().rotate_left(shift);
+                    assert_ne!(codes[i].bits(), &rotated, "code {i} = code {j} <<< {shift}");
+                    assert_ne!(
+                        codes[i].bits(),
+                        &rotated.complement(),
+                        "code {i} = ~code {j} <<< {shift}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_and_bounds() {
+        let family = TwoNcFamily::new(5).unwrap();
+        assert_eq!(family.capacity(), 15);
+        assert!(family.code(14).is_ok());
+        assert!(matches!(
+            family.code(15),
+            Err(CbmaError::CodeUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_users_rejected() {
+        assert!(matches!(
+            TwoNcFamily::new(0),
+            Err(CbmaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn better_aligned_orthogonality_than_gold() {
+        // The property Fig. 9(b) rests on: at chip alignment the 2NC
+        // cross-correlation (0) is strictly below Gold's worst case (t=9
+        // for degree 5).
+        let twonc = TwoNcFamily::new(5).unwrap();
+        let codes = twonc.codes(5).unwrap();
+        let worst = codes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| {
+                codes
+                    .iter()
+                    .enumerate()
+                    .filter(move |(j, _)| *j != i)
+                    .map(move |(_, b)| row_dot(a.bits(), b.bits()).abs())
+            })
+            .max()
+            .unwrap();
+        assert_eq!(worst, 0);
+    }
+
+    #[test]
+    fn paper_default_supports_ten_tags() {
+        let family = TwoNcFamily::paper_default();
+        assert_eq!(family.users(), 10);
+        assert!(family.capacity() >= 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Walsh–Hadamard code construction.
+//!
+//! Sylvester's recursive construction yields a 2ᵏ × 2ᵏ ±1 matrix whose rows
+//! are mutually orthogonal. The 2NC family ([`crate::twonc`]) draws its
+//! codes from these rows; this module also serves synchronous-CDMA
+//! comparisons in the ablation benches.
+
+use cbma_types::{Bits, CbmaError, Result};
+
+/// Generates the order-`size` Hadamard matrix rows as bit vectors
+/// (+1 → 1, −1 → 0).
+///
+/// # Errors
+///
+/// Returns [`CbmaError::InvalidConfig`] when `size` is not a power of two
+/// or is zero.
+pub fn hadamard_rows(size: usize) -> Result<Vec<Bits>> {
+    if size == 0 || !size.is_power_of_two() {
+        return Err(CbmaError::InvalidConfig(format!(
+            "hadamard order must be a power of two, got {size}"
+        )));
+    }
+    // Entry (i, j) of the Sylvester matrix is (−1)^popcount(i & j).
+    let rows = (0..size)
+        .map(|i| {
+            (0..size)
+                .map(|j| {
+                    let parity = (i & j).count_ones() % 2;
+                    if parity == 0 {
+                        1u8
+                    } else {
+                        0u8
+                    }
+                })
+                .collect::<Bits>()
+        })
+        .collect();
+    Ok(rows)
+}
+
+/// Bipolar dot product of two equal-length bit rows.
+pub fn row_dot(a: &Bits, b: &Bits) -> i64 {
+    assert_eq!(a.len(), b.len(), "row dot requires equal lengths");
+    (0..a.len())
+        .map(|i| (i64::from(a[i]) * 2 - 1) * (i64::from(b[i]) * 2 - 1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_and_two() {
+        let h1 = hadamard_rows(1).unwrap();
+        assert_eq!(h1.len(), 1);
+        assert_eq!(h1[0].to_string(), "1");
+        let h2 = hadamard_rows(2).unwrap();
+        assert_eq!(h2[0].to_string(), "11");
+        assert_eq!(h2[1].to_string(), "10");
+    }
+
+    #[test]
+    fn rows_are_mutually_orthogonal() {
+        for size in [4usize, 8, 16, 32] {
+            let rows = hadamard_rows(size).unwrap();
+            for i in 0..size {
+                for j in 0..size {
+                    let expected = if i == j { size as i64 } else { 0 };
+                    assert_eq!(
+                        row_dot(&rows[i], &rows[j]),
+                        expected,
+                        "order {size}, rows ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_first_rows_are_balanced() {
+        let rows = hadamard_rows(16).unwrap();
+        for (i, row) in rows.iter().enumerate().skip(1) {
+            assert_eq!(row.count_ones(), 8, "row {i} unbalanced");
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(hadamard_rows(0).is_err());
+        assert!(hadamard_rows(3).is_err());
+        assert!(hadamard_rows(12).is_err());
+    }
+}

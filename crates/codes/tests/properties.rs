@@ -1,0 +1,106 @@
+//! Property-based tests for the code families.
+
+use cbma_codes::{CodeFamily, FamilyKind};
+use cbma_types::Bits;
+use proptest::prelude::*;
+
+fn arb_family() -> impl Strategy<Value = FamilyKind> {
+    prop_oneof![
+        (5u32..=7).prop_map(|degree| FamilyKind::Gold { degree }),
+        (1usize..=16).prop_map(|users| FamilyKind::TwoNc { users }),
+        prop_oneof![Just(6u32), Just(8u32)].prop_map(|degree| FamilyKind::Kasami { degree }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every family hands out exactly `capacity` distinct, equal-length,
+    /// correctly-indexed codes and rejects the next index.
+    #[test]
+    fn families_are_well_formed(kind in arb_family()) {
+        let family = kind.build().unwrap();
+        let cap = family.capacity().min(12); // bound the pairwise check
+        let codes = family.codes(cap).unwrap();
+        for (i, code) in codes.iter().enumerate() {
+            prop_assert_eq!(code.index(), i);
+            prop_assert_eq!(code.len(), family.spreading_factor());
+        }
+        for i in 0..codes.len() {
+            for j in i + 1..codes.len() {
+                prop_assert_ne!(codes[i].bits(), codes[j].bits());
+            }
+        }
+        prop_assert!(family.code(family.capacity()).is_err());
+    }
+
+    /// Complement signalling: the bipolar template for 0 is exactly the
+    /// negated template for 1, and chips_for agrees with it.
+    #[test]
+    fn complement_signalling_is_consistent(
+        kind in arb_family(),
+        index in 0usize..4,
+    ) {
+        let family = kind.build().unwrap();
+        let index = index % family.capacity();
+        let code = family.code(index).unwrap();
+        for (one, zero) in code.bipolar_one().iter().zip(code.bipolar_zero()) {
+            prop_assert_eq!(*one, -zero);
+        }
+        prop_assert_eq!(&code.chips_for(0), &code.chips_for(1).complement());
+    }
+
+    /// No code in any family is degenerate (all-ones or all-zeros), which
+    /// would break OOK signalling.
+    #[test]
+    fn codes_are_never_degenerate(kind in arb_family()) {
+        let family = kind.build().unwrap();
+        for code in family.codes(family.capacity().min(12)).unwrap() {
+            let ones = code.bits().count_ones();
+            prop_assert!(ones > 0, "all-zero code in {kind}");
+            prop_assert!(ones < code.len(), "all-one code in {kind}");
+        }
+    }
+
+    /// Spreading any data with any code is invertible (chip-exact).
+    #[test]
+    fn spread_is_injective_per_code(
+        kind in arb_family(),
+        data_a in proptest::collection::vec(0u8..2, 1..24),
+        flip_at in any::<usize>(),
+    ) {
+        let family = kind.build().unwrap();
+        let code = family.code(0).unwrap();
+        let a = Bits::from_slice(&data_a).unwrap();
+        // Flip one data bit: the chip streams must differ in exactly one
+        // code word (complement signalling flips every chip of the word).
+        let mut data_b = data_a.clone();
+        let k = flip_at % data_b.len();
+        data_b[k] ^= 1;
+        let b = Bits::from_slice(&data_b).unwrap();
+        let ca = cbma_tag_shim::spread(&a, &code);
+        let cb = cbma_tag_shim::spread(&b, &code);
+        let diff = ca.hamming_distance(&cb);
+        prop_assert_eq!(diff, code.len(), "one bit flip must flip one whole word");
+    }
+}
+
+/// Minimal local re-implementation of the tag's spreading rule so this
+/// crate's property tests need no dependency on `cbma-tag` (which depends
+/// on this crate).
+mod cbma_tag_shim {
+    use cbma_codes::PnCode;
+    use cbma_types::Bits;
+
+    pub fn spread(data: &Bits, code: &PnCode) -> Bits {
+        let mut out = Bits::with_capacity(data.len() * code.len());
+        for bit in data.iter() {
+            if bit == 1 {
+                out.extend_bits(code.bits());
+            } else {
+                out.extend_bits(&code.bits().complement());
+            }
+        }
+        out
+    }
+}

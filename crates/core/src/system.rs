@@ -1,0 +1,279 @@
+//! The high-level `CbmaSystem` API.
+//!
+//! Wraps scenario construction, the simulation engine, and the adaptation
+//! stack behind one builder so applications can go from "here are my tag
+//! positions" to delivered-frame statistics in a few lines, without
+//! touching the per-crate machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbma::system::CbmaSystem;
+//! use cbma::prelude::*;
+//!
+//! let mut system = CbmaSystem::builder()
+//!     .tags(vec![Point::new(0.0, 0.4), Point::new(0.0, -0.4)])
+//!     .seed(7)
+//!     .build()?;
+//! let report = system.run(20);
+//! assert!(report.fer < 0.5);
+//! # Ok::<(), cbma_types::CbmaError>(())
+//! ```
+
+use cbma_sim::adaptation::Adapter;
+use cbma_sim::{Engine, RunStats, Scenario};
+use cbma_types::geometry::Point;
+use cbma_types::units::Hertz;
+use cbma_types::{CbmaError, Result};
+
+/// Builder for a [`CbmaSystem`].
+#[derive(Debug, Clone, Default)]
+pub struct CbmaSystemBuilder {
+    tags: Vec<Point>,
+    seed: Option<u64>,
+    chip_rate: Option<Hertz>,
+    payload_len: Option<usize>,
+    power_control: bool,
+    sic_passes: Option<usize>,
+    spare_positions: Vec<Point>,
+    scenario_override: Option<Scenario>,
+}
+
+impl CbmaSystemBuilder {
+    /// Places the tags (required).
+    pub fn tags(mut self, tags: Vec<Point>) -> Self {
+        self.tags = tags;
+        self
+    }
+
+    /// Root seed (defaults to the scenario default).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Tag symbol rate (defaults to the paper's 1 Mcps).
+    pub fn chip_rate(mut self, rate: Hertz) -> Self {
+        self.chip_rate = Some(rate);
+        self
+    }
+
+    /// Payload bytes per frame (defaults to 8).
+    pub fn payload_len(mut self, len: usize) -> Self {
+        self.payload_len = Some(len);
+        self
+    }
+
+    /// Run Algorithm 1 power control before measuring.
+    pub fn power_control(mut self, enabled: bool) -> Self {
+        self.power_control = enabled;
+        self
+    }
+
+    /// Enable receiver-side successive interference cancellation.
+    pub fn sic_passes(mut self, passes: usize) -> Self {
+        self.sic_passes = Some(passes);
+        self
+    }
+
+    /// Spare positions node selection may move bad tags to (implies
+    /// power control).
+    pub fn spare_positions(mut self, spares: Vec<Point>) -> Self {
+        self.spare_positions = spares;
+        self
+    }
+
+    /// Replaces the generated scenario wholesale (advanced use; the other
+    /// builder knobs are ignored except adaptation settings).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario_override = Some(scenario);
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] when no tags were given, and
+    /// propagates scenario validation errors.
+    pub fn build(self) -> Result<CbmaSystem> {
+        let scenario = match self.scenario_override {
+            Some(s) => s,
+            None => {
+                if self.tags.is_empty() {
+                    return Err(CbmaError::InvalidConfig(
+                        "CbmaSystem needs at least one tag position".into(),
+                    ));
+                }
+                let mut s = Scenario::paper_default(self.tags);
+                if let Some(seed) = self.seed {
+                    s.seed = seed;
+                }
+                if let Some(rate) = self.chip_rate {
+                    s.phy = s.phy.with_chip_rate(rate);
+                }
+                if let Some(len) = self.payload_len {
+                    s.payload_len = len;
+                }
+                if let Some(passes) = self.sic_passes {
+                    s.rx_config.sic_passes = passes;
+                }
+                s
+            }
+        };
+        let engine = Engine::new(scenario)?;
+        Ok(CbmaSystem {
+            engine,
+            power_control: self.power_control || !self.spare_positions.is_empty(),
+            spare_positions: self.spare_positions,
+            adapted: false,
+        })
+    }
+}
+
+/// The result of a [`CbmaSystem::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// Frame error rate over the run.
+    pub fer: f64,
+    /// Aggregate modulated symbol rate (the paper's headline metric), Hz.
+    pub aggregate_symbol_rate: f64,
+    /// Aggregate information goodput, bit/s.
+    pub goodput: f64,
+    /// Per-tag ACK ratios.
+    pub per_tag_ack: Vec<f64>,
+    /// The raw statistics, for further analysis.
+    pub stats: RunStats,
+}
+
+/// A ready-to-run CBMA deployment.
+#[derive(Debug)]
+pub struct CbmaSystem {
+    engine: Engine,
+    power_control: bool,
+    spare_positions: Vec<Point>,
+    adapted: bool,
+}
+
+impl CbmaSystem {
+    /// Starts a builder.
+    pub fn builder() -> CbmaSystemBuilder {
+        CbmaSystemBuilder::default()
+    }
+
+    /// The underlying engine (full control when the facade is not
+    /// enough).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Runs `packets` collided packets and reports. The first call runs
+    /// the configured adaptation (power control / node selection) before
+    /// measuring; later calls measure directly.
+    pub fn run(&mut self, packets: usize) -> SystemReport {
+        if self.power_control && !self.adapted {
+            let adapter = Adapter::paper_default(packets.max(4));
+            if self.spare_positions.is_empty() {
+                let _ = adapter.run_power_control(&mut self.engine);
+            } else {
+                let _ = adapter.run_with_node_selection(&mut self.engine, &self.spare_positions);
+            }
+            self.adapted = true;
+        }
+        let stats = self.engine.run_rounds(packets);
+        let scenario = self.engine.scenario();
+        let spreading = scenario
+            .family
+            .build()
+            .map(|f| f.spreading_factor())
+            .unwrap_or(1);
+        SystemReport {
+            fer: stats.fer(),
+            aggregate_symbol_rate: stats.aggregate_symbol_rate(&scenario.phy).get(),
+            goodput: stats
+                .goodput(&scenario.phy, scenario.payload_len, spreading)
+                .get(),
+            per_tag_ack: stats.ack_ratios(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_tag::ImpedanceState;
+
+    fn positions() -> Vec<Point> {
+        vec![Point::new(0.0, 0.4), Point::new(0.0, -0.4)]
+    }
+
+    #[test]
+    fn builder_produces_a_working_system() {
+        let mut system = CbmaSystem::builder()
+            .tags(positions())
+            .seed(5)
+            .build()
+            .unwrap();
+        for t in system.engine_mut().tags_mut() {
+            t.set_impedance(ImpedanceState::Open);
+        }
+        let report = system.run(10);
+        assert!(report.fer <= 1.0);
+        assert_eq!(report.per_tag_ack.len(), 2);
+        assert!(report.aggregate_symbol_rate > 0.0);
+        assert!(report.goodput > 0.0);
+    }
+
+    #[test]
+    fn empty_tags_rejected() {
+        assert!(matches!(
+            CbmaSystem::builder().build(),
+            Err(CbmaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_scenario() {
+        let mut system = CbmaSystem::builder()
+            .tags(positions())
+            .chip_rate(Hertz::from_mhz(2.0))
+            .payload_len(4)
+            .sic_passes(1)
+            .seed(9)
+            .build()
+            .unwrap();
+        let s = system.engine_mut().scenario();
+        assert_eq!(s.phy.chip_rate, Hertz::from_mhz(2.0));
+        assert_eq!(s.payload_len, 4);
+        assert_eq!(s.rx_config.sic_passes, 1);
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn power_control_runs_once() {
+        let mut system = CbmaSystem::builder()
+            .tags(positions())
+            .power_control(true)
+            .seed(11)
+            .build()
+            .unwrap();
+        let first = system.run(6);
+        let second = system.run(6);
+        // Adaptation happened before the first run; the second run
+        // measures the already-adapted system.
+        assert!(first.fer <= 1.0 && second.fer <= 1.0);
+    }
+
+    #[test]
+    fn scenario_override_wins() {
+        let scenario = Scenario::clean(positions()).with_seed(77);
+        let mut system = CbmaSystem::builder()
+            .tags(vec![Point::ORIGIN]) // ignored
+            .scenario(scenario)
+            .build()
+            .unwrap();
+        assert_eq!(system.engine_mut().scenario().seed, 77);
+        assert_eq!(system.engine_mut().tags().len(), 2);
+    }
+}

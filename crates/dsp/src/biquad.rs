@@ -1,0 +1,218 @@
+//! IIR biquad sections.
+//!
+//! Direct-form-I second-order sections with standard RBJ cookbook
+//! designs. The envelope receiver's mean-removal step is a block version
+//! of DC blocking; a streaming implementation would use the
+//! [`Biquad::dc_blocker`] here, and spectral shaping in tests uses the
+//! low-/high-pass designs.
+
+use std::f64::consts::PI;
+
+use cbma_types::{CbmaError, Result};
+
+/// A second-order IIR filter (normalized so a0 = 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    // Direct form I state.
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+}
+
+impl Biquad {
+    /// Creates a biquad from normalized coefficients.
+    pub fn from_coefficients(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Biquad {
+        Biquad {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        }
+    }
+
+    fn check_f(f: f64) -> Result<()> {
+        if !(0.0..0.5).contains(&f) || f == 0.0 {
+            return Err(CbmaError::InvalidConfig(format!(
+                "normalized frequency must be in (0, 0.5), got {f}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// RBJ low-pass at normalized frequency `f` with quality `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] for out-of-range `f` or
+    /// non-positive `q`.
+    pub fn low_pass(f: f64, q: f64) -> Result<Biquad> {
+        Biquad::check_f(f)?;
+        if q <= 0.0 {
+            return Err(CbmaError::InvalidConfig("q must be positive".into()));
+        }
+        let w0 = 2.0 * PI * f;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Biquad::from_coefficients(
+            (1.0 - cosw) / 2.0 / a0,
+            (1.0 - cosw) / a0,
+            (1.0 - cosw) / 2.0 / a0,
+            -2.0 * cosw / a0,
+            (1.0 - alpha) / a0,
+        ))
+    }
+
+    /// RBJ high-pass at normalized frequency `f` with quality `q`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Biquad::low_pass`].
+    pub fn high_pass(f: f64, q: f64) -> Result<Biquad> {
+        Biquad::check_f(f)?;
+        if q <= 0.0 {
+            return Err(CbmaError::InvalidConfig("q must be positive".into()));
+        }
+        let w0 = 2.0 * PI * f;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Biquad::from_coefficients(
+            (1.0 + cosw) / 2.0 / a0,
+            -(1.0 + cosw) / a0,
+            (1.0 + cosw) / 2.0 / a0,
+            -2.0 * cosw / a0,
+            (1.0 - alpha) / a0,
+        ))
+    }
+
+    /// A first-order-style DC blocker realized as a biquad: pole at `r`
+    /// (close to 1), zero at DC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] unless 0 < r < 1.
+    pub fn dc_blocker(r: f64) -> Result<Biquad> {
+        if !(0.0..1.0).contains(&r) || r == 0.0 {
+            return Err(CbmaError::InvalidConfig(format!(
+                "dc-blocker pole must be in (0, 1), got {r}"
+            )));
+        }
+        Ok(Biquad::from_coefficients(1.0, -1.0, 0.0, -r, 0.0))
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.b1 * self.x1 + self.b2 * self.x2
+            - self.a1 * self.y1
+            - self.a2 * self.y2;
+        self.x2 = self.x1;
+        self.x1 = x;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    /// Processes a block, returning the outputs.
+    pub fn process_block(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.x2 = 0.0;
+        self.y1 = 0.0;
+        self.y2 = 0.0;
+    }
+
+    /// Magnitude response at normalized frequency `f`.
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        use cbma_types::Iq;
+        let z1 = Iq::phasor(-2.0 * PI * f);
+        let z2 = z1 * z1;
+        let num = Iq::new(self.b0, 0.0) + z1.scale(self.b1) + z2.scale(self.b2);
+        let den = Iq::ONE + z1.scale(self.a1) + z2.scale(self.a2);
+        num.abs() / den.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_pass_response_shape() {
+        let bq = Biquad::low_pass(0.1, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        assert!((bq.magnitude_at(0.001) - 1.0).abs() < 0.01);
+        assert!((bq.magnitude_at(0.1) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02);
+        assert!(bq.magnitude_at(0.4) < 0.05);
+    }
+
+    #[test]
+    fn high_pass_response_shape() {
+        let bq = Biquad::high_pass(0.1, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        assert!(bq.magnitude_at(0.001) < 0.01);
+        assert!((bq.magnitude_at(0.45) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn dc_blocker_kills_dc_keeps_signal() {
+        let mut bq = Biquad::dc_blocker(0.995).unwrap();
+        // DC + a tone.
+        let f = 0.05;
+        let input: Vec<f64> = (0..4000)
+            .map(|k| 1.0 + (2.0 * PI * f * k as f64).sin())
+            .collect();
+        let out = bq.process_block(&input);
+        // Steady-state mean ≈ 0 (DC removed), tone amplitude preserved.
+        let tail = &out[2000..];
+        let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(mean.abs() < 0.02, "residual dc {mean}");
+        let power: f64 =
+            tail.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / tail.len() as f64;
+        assert!((power - 0.5).abs() < 0.05, "tone power {power}");
+    }
+
+    #[test]
+    fn filtering_is_causal_and_stateful() {
+        let mut bq = Biquad::low_pass(0.2, 0.707).unwrap();
+        let a = bq.process(1.0);
+        let b = bq.process(0.0);
+        assert_ne!(a, b, "state must evolve");
+        bq.reset();
+        assert_eq!(bq.process(1.0), a, "reset must restore the initial state");
+    }
+
+    #[test]
+    fn impulse_response_is_stable() {
+        let mut bq = Biquad::low_pass(0.05, 0.707).unwrap();
+        let mut impulse = vec![0.0; 5000];
+        impulse[0] = 1.0;
+        let out = bq.process_block(&impulse);
+        assert!(out[4999].abs() < 1e-9, "impulse response did not decay");
+        let energy: f64 = out.iter().map(|y| y * y).sum();
+        assert!(energy.is_finite());
+    }
+
+    #[test]
+    fn invalid_designs_rejected() {
+        assert!(Biquad::low_pass(0.0, 0.7).is_err());
+        assert!(Biquad::low_pass(0.5, 0.7).is_err());
+        assert!(Biquad::low_pass(0.1, 0.0).is_err());
+        assert!(Biquad::high_pass(0.6, 0.7).is_err());
+        assert!(Biquad::dc_blocker(0.0).is_err());
+        assert!(Biquad::dc_blocker(1.0).is_err());
+    }
+}

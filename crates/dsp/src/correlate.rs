@@ -1,0 +1,245 @@
+//! Cross-correlation and peak search.
+//!
+//! Correlation is the workhorse of CBMA's receiver: user detection
+//! cross-correlates every known PN code against the received preamble, and
+//! decoding cross-correlates each chip window against the detected user's
+//! code (§III-B). The functions here work in the bipolar (±1) domain for
+//! codes and on complex IQ for received samples; IQ correlation is
+//! *noncoherent* (magnitude of the complex correlation) because the
+//! backscatter channel applies an unknown phase rotation per tag.
+
+use cbma_types::Iq;
+
+/// Raw (unnormalized) dot product of two equal-length real sequences.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Normalized correlation of two equal-length real sequences, in [−1, 1].
+///
+/// Returns 0.0 when either sequence has zero energy.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn normalized_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation requires equal lengths");
+    let ea: f64 = a.iter().map(|x| x * x).sum();
+    let eb: f64 = b.iter().map(|x| x * x).sum();
+    if ea == 0.0 || eb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (ea.sqrt() * eb.sqrt())
+}
+
+/// Periodic (circular) cross-correlation of two equal-length ±1 sequences
+/// at every lag; used to characterize PN-code families.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn periodic_cross_correlation(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "periodic correlation requires equal lengths"
+    );
+    let n = a.len();
+    (0..n)
+        .map(|lag| (0..n).map(|i| a[i] * b[(i + lag) % n]).sum())
+        .collect()
+}
+
+/// Complex correlation of IQ samples against a real bipolar reference,
+/// returning the complex accumulation. Callers usually take `.abs()` for a
+/// noncoherent decision statistic.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn correlate_iq_bipolar(samples: &[Iq], reference: &[f64]) -> Iq {
+    assert_eq!(
+        samples.len(),
+        reference.len(),
+        "iq correlation requires equal lengths"
+    );
+    samples
+        .iter()
+        .zip(reference)
+        .map(|(s, &r)| s.scale(r))
+        .sum()
+}
+
+/// Noncoherent normalized correlation magnitude of IQ samples against a
+/// bipolar reference, in [0, 1]. Zero-energy inputs yield 0.0.
+pub fn normalized_iq_correlation(samples: &[Iq], reference: &[f64]) -> f64 {
+    assert_eq!(
+        samples.len(),
+        reference.len(),
+        "iq correlation requires equal lengths"
+    );
+    let es: f64 = samples.iter().map(|s| s.power()).sum();
+    let er: f64 = reference.iter().map(|r| r * r).sum();
+    if es == 0.0 || er == 0.0 {
+        return 0.0;
+    }
+    correlate_iq_bipolar(samples, reference).abs() / (es.sqrt() * er.sqrt())
+}
+
+/// Slides `reference` across `samples` and returns the noncoherent
+/// correlation magnitude at each offset (length
+/// `samples.len() - reference.len() + 1`). Returns an empty vector when the
+/// reference is longer than the samples.
+pub fn sliding_correlation(samples: &[Iq], reference: &[f64]) -> Vec<f64> {
+    if reference.is_empty() || reference.len() > samples.len() {
+        return Vec::new();
+    }
+    (0..=samples.len() - reference.len())
+        .map(|off| correlate_iq_bipolar(&samples[off..off + reference.len()], reference).abs())
+        .collect()
+}
+
+/// Result of a correlation peak search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakSearch {
+    /// Offset of the maximum correlation.
+    pub offset: usize,
+    /// Correlation value at the peak.
+    pub value: f64,
+    /// Ratio of the peak to the mean of all other offsets — a measure of
+    /// how unambiguous the alignment is.
+    pub peak_to_mean: f64,
+}
+
+/// Finds the peak of a correlation profile.
+///
+/// Returns `None` for an empty profile.
+pub fn find_peak(profile: &[f64]) -> Option<PeakSearch> {
+    if profile.is_empty() {
+        return None;
+    }
+    let (offset, &value) = profile
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("correlation values are finite"))?;
+    let rest_sum: f64 = profile.iter().sum::<f64>() - value;
+    let rest_mean = if profile.len() > 1 {
+        rest_sum / (profile.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let peak_to_mean = if rest_mean > 0.0 {
+        value / rest_mean
+    } else {
+        f64::INFINITY
+    };
+    Some(PeakSearch {
+        offset,
+        value,
+        peak_to_mean,
+    })
+}
+
+/// Convenience: sliding correlation followed by peak search.
+pub fn best_alignment(samples: &[Iq], reference: &[f64]) -> Option<PeakSearch> {
+    find_peak(&sliding_correlation(samples, reference))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bipolar(bits: &[u8]) -> Vec<f64> {
+        bits.iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn auto_correlation_is_one() {
+        let c = bipolar(&[1, 0, 1, 1, 0, 0, 1]);
+        assert!((normalized_correlation(&c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_correlation_is_minus_one() {
+        let c = bipolar(&[1, 0, 1]);
+        let neg: Vec<f64> = c.iter().map(|x| -x).collect();
+        assert!((normalized_correlation(&c, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_energy_correlates_to_zero() {
+        assert_eq!(normalized_correlation(&[0.0; 4], &[1.0; 4]), 0.0);
+        assert_eq!(normalized_iq_correlation(&[Iq::ZERO; 4], &[1.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn iq_correlation_is_phase_invariant() {
+        // The same code received with an arbitrary channel phase must give
+        // the same noncoherent statistic — this is why the detector works
+        // without carrier recovery.
+        let code = bipolar(&[1, 0, 1, 1, 0, 1, 0]);
+        let phase = 1.234;
+        let rx: Vec<Iq> = code
+            .iter()
+            .map(|&c| Iq::from_polar(c.abs(), phase).scale(c.signum()))
+            .collect();
+        let rx0: Vec<Iq> = code.iter().map(|&c| Iq::new(c, 0.0)).collect();
+        let m_rot = normalized_iq_correlation(&rx, &code);
+        let m_0 = normalized_iq_correlation(&rx0, &code);
+        assert!((m_rot - m_0).abs() < 1e-12);
+        assert!((m_0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_correlation_peaks_at_true_offset() {
+        let code = bipolar(&[1, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0]);
+        let mut rx = vec![Iq::ZERO; 37];
+        for (i, &c) in code.iter().enumerate() {
+            rx[20 + i] = Iq::new(c, 0.0);
+        }
+        let peak = best_alignment(&rx, &code).unwrap();
+        assert_eq!(peak.offset, 20);
+        assert!(peak.peak_to_mean > 2.0);
+    }
+
+    #[test]
+    fn sliding_correlation_handles_short_input() {
+        let code = bipolar(&[1, 0, 1]);
+        assert!(sliding_correlation(&[Iq::ONE], &code).is_empty());
+        assert!(best_alignment(&[Iq::ONE], &code).is_none());
+        assert!(find_peak(&[]).is_none());
+    }
+
+    #[test]
+    fn periodic_correlation_of_shifted_self_peaks_at_shift() {
+        let c = bipolar(&[1, 0, 0, 1, 0, 1, 1]);
+        let shifted: Vec<f64> = (0..c.len()).map(|i| c[(i + 3) % c.len()]).collect();
+        let prof = periodic_cross_correlation(&shifted, &c);
+        let peak = find_peak(&prof).unwrap();
+        // shifted[k] = c[k+3], so the profile peaks at the lag that
+        // re-aligns `shifted` onto `c`.
+        assert!((peak.value - c.len() as f64).abs() < 1e-12);
+        assert_eq!(peak.offset, 3);
+    }
+
+    #[test]
+    fn dot_is_linear() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert!((dot(&a, &b) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_to_mean_of_single_element_profile() {
+        let p = find_peak(&[5.0]).unwrap();
+        assert_eq!(p.offset, 0);
+        assert!(p.peak_to_mean.is_infinite());
+    }
+}

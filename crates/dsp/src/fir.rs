@@ -1,0 +1,184 @@
+//! FIR filter design and application.
+//!
+//! A real SDR front end low-pass-filters before decimating; the windowed-
+//! sinc designs here let experiments model that stage (e.g. studying how
+//! receiver filtering interacts with high chip rates) and give the test
+//! suite a reference linear-phase filter.
+
+use std::f64::consts::PI;
+
+use cbma_types::{CbmaError, Iq, Result};
+
+use crate::window::WindowKind;
+
+/// A finite-impulse-response filter (real taps, linear phase for the
+/// designs produced here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fir {
+    taps: Vec<f64>,
+}
+
+impl Fir {
+    /// Wraps explicit taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] for an empty tap list.
+    pub fn new(taps: Vec<f64>) -> Result<Fir> {
+        if taps.is_empty() {
+            return Err(CbmaError::InvalidConfig(
+                "fir filter needs at least one tap".into(),
+            ));
+        }
+        Ok(Fir { taps })
+    }
+
+    /// Windowed-sinc low-pass design: cutoff as a fraction of the sample
+    /// rate (0 < cutoff < 0.5), odd length `n_taps`, tapered by `window`.
+    /// Taps are normalized to unit DC gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] for an even/zero tap count or
+    /// an out-of-range cutoff.
+    pub fn low_pass(cutoff: f64, n_taps: usize, window: WindowKind) -> Result<Fir> {
+        if n_taps == 0 || n_taps % 2 == 0 {
+            return Err(CbmaError::InvalidConfig(format!(
+                "tap count must be odd and non-zero, got {n_taps}"
+            )));
+        }
+        if !(0.0..0.5).contains(&cutoff) || cutoff == 0.0 {
+            return Err(CbmaError::InvalidConfig(format!(
+                "cutoff must be in (0, 0.5) of the sample rate, got {cutoff}"
+            )));
+        }
+        let mid = (n_taps / 2) as isize;
+        let coeffs = window.coefficients(n_taps);
+        let mut taps: Vec<f64> = (0..n_taps as isize)
+            .map(|i| {
+                let k = (i - mid) as f64;
+                let sinc = if k == 0.0 {
+                    2.0 * cutoff
+                } else {
+                    (2.0 * PI * cutoff * k).sin() / (PI * k)
+                };
+                sinc * coeffs[i as usize]
+            })
+            .collect();
+        let dc: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= dc;
+        }
+        Ok(Fir { taps })
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples ((N−1)/2 for the linear-phase designs).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() as f64 - 1.0) / 2.0
+    }
+
+    /// Filters a complex signal ("same" convolution: output length equals
+    /// input length, edges use implicit zero padding).
+    pub fn filter(&self, input: &[Iq]) -> Vec<Iq> {
+        let n = input.len();
+        let m = self.taps.len();
+        let half = m / 2;
+        let mut out = vec![Iq::ZERO; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = Iq::ZERO;
+            for (j, &t) in self.taps.iter().enumerate() {
+                // Centered convolution index.
+                let k = i as isize + half as isize - j as isize;
+                if k >= 0 && (k as usize) < n {
+                    acc += input[k as usize].scale(t);
+                }
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Magnitude response at a normalized frequency f ∈ [0, 0.5].
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        let mut acc = Iq::ZERO;
+        for (k, &t) in self.taps.iter().enumerate() {
+            acc += Iq::phasor(-2.0 * PI * f * k as f64).scale(t);
+        }
+        acc.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_pass_passes_dc_and_blocks_nyquist() {
+        let fir = Fir::low_pass(0.1, 63, WindowKind::Hamming).unwrap();
+        assert!((fir.magnitude_at(0.0) - 1.0).abs() < 1e-9);
+        assert!(fir.magnitude_at(0.45) < 0.01, "stopband leaks");
+    }
+
+    #[test]
+    fn transition_is_monotonic_enough() {
+        let fir = Fir::low_pass(0.1, 63, WindowKind::Hamming).unwrap();
+        assert!(fir.magnitude_at(0.05) > 0.9);
+        assert!(fir.magnitude_at(0.2) < 0.1);
+    }
+
+    #[test]
+    fn taps_are_symmetric_linear_phase() {
+        let fir = Fir::low_pass(0.2, 31, WindowKind::Hann).unwrap();
+        let t = fir.taps();
+        for i in 0..t.len() {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12);
+        }
+        assert_eq!(fir.group_delay(), 15.0);
+    }
+
+    #[test]
+    fn filtering_a_tone_in_the_passband_preserves_it() {
+        let fir = Fir::low_pass(0.25, 41, WindowKind::Hamming).unwrap();
+        let f = 0.05;
+        let input: Vec<Iq> = (0..400)
+            .map(|k| Iq::phasor(2.0 * PI * f * k as f64))
+            .collect();
+        let out = fir.filter(&input);
+        // Compare steady-state magnitude (skip edges).
+        let mid_power: f64 = out[100..300].iter().map(|s| s.power()).sum::<f64>() / 200.0;
+        assert!((mid_power - 1.0).abs() < 0.02, "passband gain {mid_power}");
+    }
+
+    #[test]
+    fn filtering_a_stopband_tone_kills_it() {
+        let fir = Fir::low_pass(0.1, 63, WindowKind::Hamming).unwrap();
+        let f = 0.4;
+        let input: Vec<Iq> = (0..400)
+            .map(|k| Iq::phasor(2.0 * PI * f * k as f64))
+            .collect();
+        let out = fir.filter(&input);
+        let mid_power: f64 = out[100..300].iter().map(|s| s.power()).sum::<f64>() / 200.0;
+        assert!(mid_power < 1e-3, "stopband power {mid_power}");
+    }
+
+    #[test]
+    fn invalid_designs_rejected() {
+        assert!(Fir::low_pass(0.1, 0, WindowKind::Hann).is_err());
+        assert!(Fir::low_pass(0.1, 10, WindowKind::Hann).is_err()); // even
+        assert!(Fir::low_pass(0.0, 11, WindowKind::Hann).is_err());
+        assert!(Fir::low_pass(0.5, 11, WindowKind::Hann).is_err());
+        assert!(Fir::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let fir = Fir::low_pass(0.2, 21, WindowKind::Hann).unwrap();
+        assert_eq!(fir.filter(&[Iq::ONE; 7]).len(), 7);
+        assert_eq!(fir.filter(&[]).len(), 0);
+    }
+}

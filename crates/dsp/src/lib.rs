@@ -1,0 +1,52 @@
+//! Digital signal processing primitives for the CBMA receiver and tags.
+//!
+//! This crate is the software stand-in for the USRP RIO / LabVIEW signal
+//! chain the paper built on (§VI). It provides exactly the blocks the CBMA
+//! pipeline needs:
+//!
+//! * [`mafilter`] — the moving-average filter frame synchronization runs on
+//!   the received energy level (§III-B),
+//! * [`energy`] — sliding-window energy detection with the +3 dB comparator
+//!   threshold,
+//! * [`correlate`] — normalized cross-correlation and peak search, the core
+//!   of user detection and chip decoding,
+//! * [`resample`] — up/down-sampling and fractional-delay interpolation
+//!   (tag upsampling §III-A, receiver downsampling §V-B, asynchrony
+//!   modelling §VII-C.2),
+//! * [`squarewave`] — Fourier synthesis of the Δf square-wave subcarrier
+//!   (paper Eq. 2) including the first-harmonic approximation,
+//! * [`fft`] — a radix-2 FFT used for spectrum inspection and the OFDM
+//!   interference model,
+//! * [`window`] — taper functions for spectral analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbma_dsp::correlate::normalized_correlation;
+//!
+//! let code = [1.0, -1.0, 1.0, 1.0, -1.0];
+//! let same = normalized_correlation(&code, &code);
+//! assert!((same - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod biquad;
+pub mod correlate;
+pub mod energy;
+pub mod fft;
+pub mod fir;
+pub mod goertzel;
+pub mod mafilter;
+pub mod resample;
+pub mod squarewave;
+pub mod window;
+
+pub use biquad::Biquad;
+pub use correlate::{
+    correlate_iq_bipolar, normalized_correlation, sliding_correlation, PeakSearch,
+};
+pub use energy::{power_series, EnergyDetector};
+pub use fir::Fir;
+pub use goertzel::Goertzel;
+pub use mafilter::MovingAverage;
+pub use resample::{downsample_mean, fractional_delay, upsample_repeat};
+pub use squarewave::SquareWave;

@@ -1,0 +1,205 @@
+//! Square-wave subcarrier synthesis (paper Eq. 2).
+//!
+//! The tag has no RF front end; it shifts the excitation tone by toggling
+//! its antenna impedance with a square wave at Δf (§II-A, §VI). By Fourier
+//! analysis,
+//!
+//! ```text
+//! Square(Δf·t) = (4/π) Σ_{n=1,3,5,…} (1/n) · sin(2π·n·Δf·t)
+//! ```
+//!
+//! so the first harmonic carries amplitude 4/π and the 3rd/5th harmonics
+//! sit ≈9.5 dB and ≈14 dB below it (§VI). [`SquareWave`] synthesizes the
+//! truncated series; [`SquareWave::first_harmonic_amplitude`] exposes the
+//! 4/π factor the link budget uses when approximating the subcarrier as a
+//! sinusoid.
+
+use std::f64::consts::PI;
+
+use cbma_types::units::{Db, Hertz};
+
+/// A square-wave generator defined by its fundamental frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareWave {
+    frequency: Hertz,
+}
+
+impl SquareWave {
+    /// Creates a generator at the given fundamental Δf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not strictly positive.
+    pub fn new(frequency: Hertz) -> SquareWave {
+        assert!(
+            frequency.get() > 0.0,
+            "square-wave frequency must be positive"
+        );
+        SquareWave { frequency }
+    }
+
+    /// The paper's configuration: Δf = 20 MHz (§VI).
+    pub fn paper_default() -> SquareWave {
+        SquareWave::new(Hertz::from_mhz(20.0))
+    }
+
+    /// The fundamental frequency Δf.
+    #[inline]
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// Amplitude of the first harmonic: 4/π ≈ 1.273 (Eq. 2 with n = 1).
+    #[inline]
+    pub fn first_harmonic_amplitude() -> f64 {
+        4.0 / PI
+    }
+
+    /// Amplitude of odd harmonic `n` (n = 1, 3, 5, …): (4/π)/n.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero.
+    pub fn harmonic_amplitude(n: u32) -> f64 {
+        assert!(
+            n % 2 == 1,
+            "square waves contain only odd harmonics, got n={n}"
+        );
+        4.0 / (PI * f64::from(n))
+    }
+
+    /// Power of harmonic `n` relative to the fundamental, in dB
+    /// (−20·log₁₀ n). The paper quotes ≈−9.5 dB for n = 3 and ≈−14 dB for
+    /// n = 5.
+    pub fn harmonic_rejection(n: u32) -> Db {
+        assert!(
+            n % 2 == 1,
+            "square waves contain only odd harmonics, got n={n}"
+        );
+        Db::new(-20.0 * f64::from(n).log10())
+    }
+
+    /// The ideal ±1 square wave value at time `t` seconds.
+    pub fn ideal(&self, t: f64) -> f64 {
+        let phase = (self.frequency.get() * t).fract();
+        // fract() of a negative argument is negative; normalize to [0,1).
+        let phase = if phase < 0.0 { phase + 1.0 } else { phase };
+        if phase < 0.5 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Truncated Fourier synthesis with `n_harmonics` odd harmonics
+    /// (n = 1 uses just the fundamental sinusoid — the approximation §VI
+    /// adopts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_harmonics` is zero.
+    pub fn synthesize(&self, t: f64, n_harmonics: u32) -> f64 {
+        assert!(n_harmonics > 0, "need at least one harmonic");
+        let mut value = 0.0;
+        for k in 0..n_harmonics {
+            let n = f64::from(2 * k + 1);
+            value += (1.0 / n) * (2.0 * PI * n * self.frequency.get() * t).sin();
+        }
+        value * 4.0 / PI
+    }
+
+    /// Samples one period of the ideal wave at `samples_per_period` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_period` is zero.
+    pub fn sample_period(&self, samples_per_period: usize) -> Vec<f64> {
+        assert!(
+            samples_per_period > 0,
+            "need at least one sample per period"
+        );
+        let period = 1.0 / self.frequency.get();
+        (0..samples_per_period)
+            .map(|i| self.ideal(i as f64 * period / samples_per_period as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_wave_alternates() {
+        let sq = SquareWave::new(Hertz::new(1.0)); // 1 Hz: +1 on [0,0.5)
+        assert_eq!(sq.ideal(0.0), 1.0);
+        assert_eq!(sq.ideal(0.25), 1.0);
+        assert_eq!(sq.ideal(0.5), -1.0);
+        assert_eq!(sq.ideal(0.75), -1.0);
+        assert_eq!(sq.ideal(1.0), 1.0);
+        // Negative time also normalizes.
+        assert_eq!(sq.ideal(-0.25), -1.0);
+    }
+
+    #[test]
+    fn first_harmonic_is_four_over_pi() {
+        assert!((SquareWave::first_harmonic_amplitude() - 4.0 / PI).abs() < 1e-15);
+        assert!((SquareWave::harmonic_amplitude(1) - 4.0 / PI).abs() < 1e-15);
+        assert!((SquareWave::harmonic_amplitude(3) - 4.0 / (3.0 * PI)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn harmonic_rejection_matches_paper() {
+        // §VI: 3rd harmonic about 9.5 dB down, 5th about 14 dB down.
+        let third = SquareWave::harmonic_rejection(3).get();
+        let fifth = SquareWave::harmonic_rejection(5).get();
+        assert!((third - (-9.542)).abs() < 0.01, "third = {third}");
+        assert!((fifth - (-13.979)).abs() < 0.01, "fifth = {fifth}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd harmonics")]
+    fn even_harmonic_panics() {
+        SquareWave::harmonic_amplitude(2);
+    }
+
+    #[test]
+    fn synthesis_converges_to_ideal() {
+        let sq = SquareWave::new(Hertz::new(1.0));
+        // Away from the discontinuities, many-harmonic synthesis is close
+        // to the ideal wave.
+        for &t in &[0.1, 0.2, 0.3, 0.6, 0.7, 0.9] {
+            let approx = sq.synthesize(t, 200);
+            assert!(
+                (approx - sq.ideal(t)).abs() < 0.02,
+                "t={t}: approx={approx}, ideal={}",
+                sq.ideal(t)
+            );
+        }
+    }
+
+    #[test]
+    fn single_harmonic_is_sinusoid() {
+        let sq = SquareWave::new(Hertz::new(2.0));
+        let t = 0.033;
+        let expected = 4.0 / PI * (2.0 * PI * 2.0 * t).sin();
+        assert!((sq.synthesize(t, 1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_period_is_half_high_half_low() {
+        let sq = SquareWave::paper_default();
+        let samples = sq.sample_period(64);
+        assert_eq!(samples.len(), 64);
+        assert_eq!(samples.iter().filter(|&&s| s > 0.0).count(), 32);
+        assert_eq!(samples.iter().filter(|&&s| s < 0.0).count(), 32);
+    }
+
+    #[test]
+    fn paper_default_is_20mhz() {
+        assert_eq!(
+            SquareWave::paper_default().frequency(),
+            Hertz::from_mhz(20.0)
+        );
+    }
+}

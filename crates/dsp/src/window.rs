@@ -1,0 +1,129 @@
+//! Window (taper) functions for spectral analysis.
+//!
+//! Used when inspecting spectra of simulated signals (tests, ablations) to
+//! keep sidelobes of the rectangular window from masking weak backscatter
+//! tones next to the strong excitation carrier.
+
+use std::f64::consts::PI;
+
+/// The window shapes provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowKind {
+    /// No taper (all ones).
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window (best sidelobe suppression of the set).
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients for `n` points.
+    ///
+    /// Lengths 0 and 1 return `[]` and `[1.0]` respectively.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain: mean of the coefficients (1.0 for rectangular).
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        if c.is_empty() {
+            return 0.0;
+        }
+        c.iter().sum::<f64>() / c.len() as f64
+    }
+}
+
+/// Multiplies a real signal by a window in place.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn apply_window(signal: &mut [f64], window: &[f64]) {
+    assert_eq!(signal.len(), window.len(), "window length mismatch");
+    for (s, w) in signal.iter_mut().zip(window) {
+        *s *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(WindowKind::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_peak_is_one() {
+        let w = WindowKind::Hann.coefficients(33);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[32].abs() < 1e-12);
+        assert!((w[16] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(21);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_gains_are_ordered() {
+        // Rect > Hamming > Hann > Blackman in coherent gain.
+        let n = 64;
+        let rect = WindowKind::Rectangular.coherent_gain(n);
+        let ham = WindowKind::Hamming.coherent_gain(n);
+        let hann = WindowKind::Hann.coherent_gain(n);
+        let black = WindowKind::Blackman.coherent_gain(n);
+        assert!(rect > ham && ham > hann && hann > black);
+        assert!((rect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(WindowKind::Hann.coefficients(0).is_empty());
+        assert_eq!(WindowKind::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(WindowKind::Rectangular.coherent_gain(0), 0.0);
+    }
+
+    #[test]
+    fn apply_window_multiplies() {
+        let mut sig = vec![2.0, 2.0, 2.0];
+        apply_window(&mut sig, &[0.5, 1.0, 0.0]);
+        assert_eq!(sig, vec![1.0, 2.0, 0.0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Tag grouping — §V-C / §VIII-D.
+//!
+//! "When there are many tags distributed in the environment, we choose
+//! some of them in a group to transmit data" (§V-C), and "if the signal
+//! strength of the tags within a group are almost the same, the decoding
+//! performance will be notably good. Hence, the starvation problem can be
+//! probably solved by selecting different groups of tags" (§VIII-D).
+//!
+//! [`GroupPlan`] partitions a population into groups no larger than the
+//! concurrency the code family supports, either round-robin or by sorting
+//! on the theoretical received power so each group is *power-homogeneous*
+//! (the property Table II shows decoding needs). [`GroupedCbmaAccess`]
+//! rotates the groups slot-by-slot, giving every tag airtime (no
+//! starvation by construction).
+
+use crate::access::AccessScheme;
+
+/// A partition of tag ids into transmission groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPlan {
+    groups: Vec<Vec<u32>>,
+}
+
+impl GroupPlan {
+    /// Round-robin partition: tag i joins group i mod ⌈n/size⌉.
+    /// Preserves arbitrary mixtures (the baseline grouping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or `n_tags` is zero.
+    pub fn round_robin(n_tags: usize, group_size: usize) -> GroupPlan {
+        assert!(n_tags > 0, "need at least one tag");
+        assert!(group_size > 0, "group size must be non-zero");
+        let n_groups = n_tags.div_ceil(group_size);
+        let mut groups = vec![Vec::new(); n_groups];
+        for tag in 0..n_tags {
+            groups[tag % n_groups].push(tag as u32);
+        }
+        GroupPlan { groups }
+    }
+
+    /// Power-homogeneous partition: tags are sorted by their (theoretical)
+    /// received power and sliced into consecutive groups, so the power
+    /// spread *within* each group is minimized — §VIII-D's recipe for
+    /// good decoding without starving weak tags.
+    ///
+    /// `scores` holds one value per tag (e.g. dBm from the Friis field);
+    /// higher is stronger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is empty or `group_size` is zero.
+    pub fn by_power(scores: &[f64], group_size: usize) -> GroupPlan {
+        assert!(!scores.is_empty(), "need at least one tag");
+        assert!(group_size > 0, "group size must be non-zero");
+        let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("scores are finite")
+        });
+        let groups = order.chunks(group_size).map(<[u32]>::to_vec).collect();
+        GroupPlan { groups }
+    }
+
+    /// The groups, in rotation order.
+    pub fn groups(&self) -> &[Vec<u32>] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the plan holds no groups (never true for constructors).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Largest within-group spread of `scores` (diagnostic: smaller is
+    /// better for decoding, per Table II).
+    pub fn max_group_spread(&self, scores: &[f64]) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                let vals: Vec<f64> = g.iter().map(|&t| scores[t as usize]).collect();
+                let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                max - min
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// CBMA access over a group plan: slot t is group t mod len, every tag in
+/// the scheduled group transmits concurrently.
+#[derive(Debug, Clone)]
+pub struct GroupedCbmaAccess {
+    plan: GroupPlan,
+    n_tags: usize,
+    next: usize,
+}
+
+impl GroupedCbmaAccess {
+    /// Creates the scheme over a plan covering `n_tags` tags.
+    pub fn new(plan: GroupPlan, n_tags: usize) -> GroupedCbmaAccess {
+        GroupedCbmaAccess {
+            plan,
+            n_tags,
+            next: 0,
+        }
+    }
+}
+
+impl AccessScheme for GroupedCbmaAccess {
+    fn name(&self) -> &'static str {
+        "cbma-grouped"
+    }
+    fn n_tags(&self) -> usize {
+        self.n_tags
+    }
+    fn next_slot<'a>(&mut self, _rng: &mut (dyn rand::RngCore + 'a)) -> Vec<u32> {
+        let group = self.plan.groups()[self.next].clone();
+        self.next = (self.next + 1) % self.plan.len();
+        group
+    }
+    fn ideal_per_tag_slot_share(&self) -> f64 {
+        1.0 / self.plan.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_covers_everyone_within_size() {
+        let plan = GroupPlan::round_robin(23, 10);
+        assert_eq!(plan.len(), 3);
+        let mut seen = vec![false; 23];
+        for g in plan.groups() {
+            assert!(g.len() <= 10);
+            for &t in g {
+                assert!(!seen[t as usize], "tag {t} scheduled twice");
+                seen[t as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn by_power_minimizes_within_group_spread() {
+        // Two clusters of power levels: homogeneous grouping separates
+        // them; round-robin mixes them.
+        let scores = vec![-50.0, -51.0, -52.0, -70.0, -71.0, -72.0];
+        let homogeneous = GroupPlan::by_power(&scores, 3);
+        let mixed = GroupPlan::round_robin(6, 3);
+        assert!(homogeneous.max_group_spread(&scores) <= 2.0 + 1e-9);
+        assert!(mixed.max_group_spread(&scores) >= 19.0);
+    }
+
+    #[test]
+    fn by_power_groups_strongest_first() {
+        let scores = vec![-60.0, -40.0, -50.0];
+        let plan = GroupPlan::by_power(&scores, 2);
+        assert_eq!(plan.groups()[0], vec![1, 2]);
+        assert_eq!(plan.groups()[1], vec![0]);
+    }
+
+    #[test]
+    fn grouped_access_rotates_without_starvation() {
+        let plan = GroupPlan::round_robin(7, 3);
+        let n_groups = plan.len();
+        let mut access = GroupedCbmaAccess::new(plan, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 7];
+        for _ in 0..n_groups * 4 {
+            for t in access.next_slot(&mut rng) {
+                counts[t as usize] += 1;
+            }
+        }
+        assert!(
+            counts.iter().all(|&c| c == 4),
+            "every tag transmits once per rotation: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn ideal_share_reflects_rotation() {
+        let plan = GroupPlan::round_robin(10, 5);
+        let access = GroupedCbmaAccess::new(plan, 10);
+        assert!((access.ideal_per_tag_slot_share() - 0.5).abs() < 1e-12);
+        assert_eq!(access.name(), "cbma-grouped");
+        assert_eq!(access.n_tags(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_size_panics() {
+        GroupPlan::round_robin(5, 0);
+    }
+}

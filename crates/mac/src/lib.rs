@@ -1,0 +1,38 @@
+//! Medium-access control for CBMA: power control, node selection, and the
+//! baselines the paper compares against.
+//!
+//! * [`power_control`] — a faithful port of the paper's **Algorithm 1**:
+//!   the receiver-side loop that watches per-tag ACK ratios and cyclically
+//!   steps the antenna impedance of tags whose ratio falls below 50 %,
+//!   bounded to 3 × n cycles,
+//! * [`node_selection`] — the §V-C scheme: abandon tags whose ACK rate
+//!   stays below 70 % after power control, and replace them with idle tags
+//!   chosen by a greedy ascent on the theoretical Friis field with a
+//!   temperature-controlled acceptance of worse positions and a λ/2
+//!   exclusion radius around already-selected tags,
+//! * [`access`] — who-transmits-when schemes: concurrent CBMA, round-robin
+//!   **TDMA** and **framed slotted ALOHA**, behind one [`AccessScheme`]
+//!   trait so the simulation engine and the throughput benches can swap
+//!   them freely.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbma_mac::power_control::{PowerController, RoundObservation};
+//!
+//! let mut pc = PowerController::paper_default(3);
+//! let decision = pc.round(&RoundObservation::from_ack_ratios(&[0.9, 0.2, 0.8]));
+//! assert_eq!(decision.step_impedance, vec![1]); // only the starving tag
+//! ```
+
+pub mod access;
+pub mod grouping;
+pub mod node_selection;
+pub mod power_control;
+pub mod qalgo;
+
+pub use access::{AccessScheme, CbmaAccess, FsaAccess, TdmaAccess};
+pub use grouping::{GroupPlan, GroupedCbmaAccess};
+pub use node_selection::{NodeSelector, SelectionOutcome};
+pub use power_control::{PowerControlDecision, PowerController, RoundObservation};
+pub use qalgo::QAlgoAccess;

@@ -1,0 +1,293 @@
+//! Node selection (§V-C).
+//!
+//! When power control alone cannot save a tag — it is too far away, or
+//! sits within half a wavelength of another tag — the system abandons it
+//! and promotes an idle tag instead. The paper's procedure:
+//!
+//! * a tag is **bad** when its ACK rate stays below 70 % after power
+//!   control,
+//! * candidate replacements are scored by the *theoretical* received
+//!   signal strength (Friis field, Eq. 1 / Fig. 5),
+//! * a better-scoring candidate is always accepted; a worse one is
+//!   accepted with a probability that decreases as the time/temperature
+//!   parameter T grows (simulated-annealing-style exploration),
+//! * candidates within λ/2 of an already-selected tag are excluded
+//!   ("once a tag is selected, we exclude those tags near to this
+//!   selected tag").
+
+use rand::Rng;
+
+use cbma_channel::friis::BackscatterLink;
+use cbma_types::geometry::Point;
+
+/// The paper's bad-tag ACK threshold (70 %).
+pub const BAD_TAG_ACK_THRESHOLD: f64 = 0.7;
+
+/// The result of one replacement attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionOutcome {
+    /// The candidate was accepted because it scores better.
+    Improved {
+        /// Score gain in dB.
+        gain_db: f64,
+    },
+    /// A worse candidate was accepted by the annealing rule.
+    AcceptedWorse {
+        /// Score loss in dB (positive number).
+        loss_db: f64,
+    },
+    /// The candidate was rejected.
+    Rejected,
+    /// The candidate violated the λ/2 exclusion radius.
+    Excluded,
+}
+
+impl SelectionOutcome {
+    /// Whether the candidate replaces the bad tag.
+    pub fn accepted(&self) -> bool {
+        matches!(
+            self,
+            SelectionOutcome::Improved { .. } | SelectionOutcome::AcceptedWorse { .. }
+        )
+    }
+}
+
+/// The greedy/annealing node selector.
+#[derive(Debug, Clone)]
+pub struct NodeSelector {
+    link: BackscatterLink,
+    es: Point,
+    rx: Point,
+    exclusion_radius: f64,
+    temperature: f64,
+    heating_rate: f64,
+}
+
+impl NodeSelector {
+    /// Creates a selector for the deployment geometry.
+    ///
+    /// The exclusion radius defaults to λ/2 of the link's carrier; the
+    /// temperature starts at 1 and grows by `heating_rate` per step,
+    /// making worse positions ever less likely to be accepted.
+    pub fn new(link: BackscatterLink, es: Point, rx: Point) -> NodeSelector {
+        let lambda = link.carrier.wavelength().get();
+        NodeSelector {
+            link,
+            es,
+            rx,
+            exclusion_radius: lambda / 2.0,
+            temperature: 1.0,
+            heating_rate: 1.5,
+        }
+    }
+
+    /// The λ/2 exclusion radius in meters.
+    #[inline]
+    pub fn exclusion_radius(&self) -> f64 {
+        self.exclusion_radius
+    }
+
+    /// Current temperature T (grows over time; larger T → stricter).
+    #[inline]
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Theoretical received signal strength at a tag position, in dBm —
+    /// the score the greedy ascent follows (Fig. 5 field).
+    pub fn score(&self, tag: Point) -> f64 {
+        self.link.received_power(self.es, tag, self.rx).get()
+    }
+
+    /// Probability of accepting a candidate `loss_db` worse than the
+    /// incumbent at the current temperature: exp(−loss·T)/1 — decreasing
+    /// in both loss and T ("worse positions are more likely to be allowed
+    /// at the start when T is small").
+    pub fn accept_worse_probability(&self, loss_db: f64) -> f64 {
+        (-loss_db.max(0.0) * self.temperature).exp()
+    }
+
+    /// Advances the time/temperature parameter after a selection round.
+    pub fn step_time(&mut self) {
+        self.temperature *= self.heating_rate;
+    }
+
+    /// Considers replacing the bad tag at `incumbent` with `candidate`,
+    /// honouring the exclusion radius against `selected` (the positions
+    /// of tags staying in the group).
+    pub fn consider<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        incumbent: Point,
+        candidate: Point,
+        selected: &[Point],
+    ) -> SelectionOutcome {
+        if selected
+            .iter()
+            .any(|p| p.distance_to(candidate) < self.exclusion_radius)
+        {
+            return SelectionOutcome::Excluded;
+        }
+        let delta = self.score(candidate) - self.score(incumbent);
+        if delta >= 0.0 {
+            SelectionOutcome::Improved { gain_db: delta }
+        } else {
+            let loss = -delta;
+            if rng.gen::<f64>() < self.accept_worse_probability(loss) {
+                SelectionOutcome::AcceptedWorse { loss_db: loss }
+            } else {
+                SelectionOutcome::Rejected
+            }
+        }
+    }
+
+    /// Runs a full replacement pass: for the bad tag at index `bad` in
+    /// `group`, tries the `idle` candidates in random order and applies
+    /// the first accepted one. Returns the index into `idle` that was
+    /// promoted, if any. On success the positions are swapped in `group`.
+    pub fn replace_bad_tag<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        group: &mut [Point],
+        bad: usize,
+        idle: &[Point],
+    ) -> Option<usize> {
+        assert!(bad < group.len(), "bad index out of range");
+        let incumbent = group[bad];
+        let others: Vec<Point> = group
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != bad)
+            .map(|(_, p)| *p)
+            .collect();
+        // Random visiting order.
+        let mut order: Vec<usize> = (0..idle.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for cand_idx in order {
+            let outcome = self.consider(rng, incumbent, idle[cand_idx], &others);
+            if outcome.accepted() {
+                group[bad] = idle[cand_idx];
+                self.step_time();
+                return Some(cand_idx);
+            }
+        }
+        self.step_time();
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn selector() -> NodeSelector {
+        NodeSelector::new(
+            BackscatterLink::paper_default(),
+            Point::from_cm(-50.0, 0.0),
+            Point::from_cm(50.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn score_follows_the_friis_field() {
+        let s = selector();
+        // A tag near the ES/RX axis beats a far corner.
+        assert!(s.score(Point::new(0.0, 0.3)) > s.score(Point::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn better_candidate_always_accepted() {
+        let s = selector();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = s.consider(
+            &mut rng,
+            Point::new(2.0, 3.0), // weak incumbent
+            Point::new(0.0, 0.3), // strong candidate
+            &[],
+        );
+        assert!(matches!(out, SelectionOutcome::Improved { gain_db } if gain_db > 0.0));
+    }
+
+    #[test]
+    fn exclusion_radius_is_half_wavelength() {
+        let s = selector();
+        // λ at 2 GHz ≈ 0.15 m → exclusion ≈ 7.5 cm.
+        assert!((s.exclusion_radius() - 0.0749).abs() < 0.001);
+        let mut rng = StdRng::seed_from_u64(2);
+        let near_selected = Point::new(0.50, 0.30);
+        let out = s.consider(
+            &mut rng,
+            Point::new(2.0, 3.0),
+            Point::new(0.52, 0.30), // 2 cm from a selected tag
+            &[near_selected],
+        );
+        assert_eq!(out, SelectionOutcome::Excluded);
+    }
+
+    #[test]
+    fn worse_candidates_get_less_likely_as_time_grows() {
+        let mut s = selector();
+        let p_early = s.accept_worse_probability(1.0);
+        s.step_time();
+        s.step_time();
+        let p_late = s.accept_worse_probability(1.0);
+        assert!(p_early > p_late);
+        assert!(p_early < 1.0 && p_late > 0.0);
+    }
+
+    #[test]
+    fn acceptance_probability_decreases_with_loss() {
+        let s = selector();
+        assert!(s.accept_worse_probability(0.5) > s.accept_worse_probability(3.0));
+        assert_eq!(s.accept_worse_probability(0.0), 1.0);
+    }
+
+    #[test]
+    fn replace_bad_tag_improves_group() {
+        let mut s = selector();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut group = vec![Point::new(0.0, 0.4), Point::new(1.9, 2.9)];
+        let idle = vec![Point::new(0.2, -0.4), Point::new(-0.3, 0.5)];
+        let before = s.score(group[1]);
+        let promoted = s.replace_bad_tag(&mut rng, &mut group, 1, &idle);
+        assert!(promoted.is_some());
+        assert!(s.score(group[1]) > before);
+    }
+
+    #[test]
+    fn replace_with_no_candidates_returns_none() {
+        let mut s = selector();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut group = vec![Point::new(0.0, 0.4)];
+        assert_eq!(s.replace_bad_tag(&mut rng, &mut group, 0, &[]), None);
+    }
+
+    #[test]
+    fn rejected_worse_candidate_leaves_group_unchanged() {
+        let mut s = selector();
+        // Heat the selector so worse candidates are essentially never
+        // accepted.
+        for _ in 0..40 {
+            s.step_time();
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let strong = Point::new(0.0, 0.3);
+        let mut group = vec![strong];
+        let idle = vec![Point::new(2.0, 3.0)]; // much worse
+        let promoted = s.replace_bad_tag(&mut rng, &mut group, 0, &idle);
+        assert_eq!(promoted, None);
+        assert_eq!(group[0], strong);
+    }
+
+    #[test]
+    fn outcome_accepted_helper() {
+        assert!(SelectionOutcome::Improved { gain_db: 1.0 }.accepted());
+        assert!(SelectionOutcome::AcceptedWorse { loss_db: 1.0 }.accepted());
+        assert!(!SelectionOutcome::Rejected.accepted());
+        assert!(!SelectionOutcome::Excluded.accepted());
+    }
+}

@@ -1,0 +1,297 @@
+//! Algorithm 1 — Power Control.
+//!
+//! The paper's pseudo-code, reproduced:
+//!
+//! ```text
+//! Input:  received signal I, Q; data M
+//! Output: adjusting impedance (Z) strategy
+//!  1  P ← (I² + Q²)^(1/2)
+//!  2  downsampling
+//!  3  n ← number of tags
+//!  4  m ← number of packets
+//!  5  for i = 1 → n:
+//!  6      ACKᵢ ← 0
+//!  7      while there is data:
+//!  8          if preamble is detected: ACKᵢ ← ACKᵢ + 1
+//!  9      ACKratioᵢ ← ACKᵢ / m
+//! 14  FER = 1 − Σ_{i∈n} ACKᵢ / n
+//! 15  if FER > Threshold:
+//! 16      for i = 1 → n:
+//! 17          if ACKratioᵢ < 50 %:
+//! 18              if Z == Z_max: Z ← 1 else: Z ← Z + 1
+//! 26  return Z
+//! ```
+//!
+//! Lines 1–9 (signal processing and ACK counting) happen in `cbma-rx` and
+//! the simulation engine; this module implements the decision logic of
+//! lines 14–26, plus the paper's loop bound: "we limit the number of
+//! execution cycles to 3 times the number of tags" (§V-B).
+
+/// Per-round inputs to the controller: each tag's ACK ratio over the
+/// round's packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundObservation {
+    ack_ratios: Vec<f64>,
+}
+
+impl RoundObservation {
+    /// Builds an observation from per-tag ACK ratios (each in [0, 1]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any ratio is outside [0, 1].
+    pub fn from_ack_ratios(ratios: &[f64]) -> RoundObservation {
+        debug_assert!(
+            ratios.iter().all(|r| (0.0..=1.0).contains(r)),
+            "ack ratios must be within [0, 1]"
+        );
+        RoundObservation {
+            ack_ratios: ratios.to_vec(),
+        }
+    }
+
+    /// Builds an observation from raw ACK counts and the packet count m.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets` is zero.
+    pub fn from_counts(acks: &[u64], packets: u64) -> RoundObservation {
+        assert!(packets > 0, "need at least one packet per round");
+        RoundObservation {
+            ack_ratios: acks
+                .iter()
+                .map(|&a| (a as f64 / packets as f64).min(1.0))
+                .collect(),
+        }
+    }
+
+    /// Per-tag ACK ratios.
+    pub fn ack_ratios(&self) -> &[f64] {
+        &self.ack_ratios
+    }
+
+    /// The paper's line-14 frame error rate: 1 − mean ACK ratio.
+    pub fn fer(&self) -> f64 {
+        if self.ack_ratios.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.ack_ratios.iter().sum::<f64>() / self.ack_ratios.len() as f64
+    }
+}
+
+/// One round's output: which tags should step their impedance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerControlDecision {
+    /// Indices of tags whose impedance should advance cyclically
+    /// (Z ← Z + 1 wrapping at Z_max).
+    pub step_impedance: Vec<usize>,
+    /// The FER the decision was based on.
+    pub fer: f64,
+    /// Whether the controller has exhausted its cycle budget.
+    pub exhausted: bool,
+}
+
+impl PowerControlDecision {
+    /// Whether the round required no adjustment.
+    pub fn is_stable(&self) -> bool {
+        self.step_impedance.is_empty()
+    }
+}
+
+/// The Algorithm 1 controller.
+#[derive(Debug, Clone)]
+pub struct PowerController {
+    fer_threshold: f64,
+    ack_ratio_floor: f64,
+    max_cycles: usize,
+    cycles_done: usize,
+}
+
+impl PowerController {
+    /// Creates a controller for `n_tags` tags with a custom FER threshold.
+    ///
+    /// The cycle budget is the paper's 3 × n; the per-tag ACK-ratio floor
+    /// is the paper's 50 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tags` is zero or `fer_threshold` is outside (0, 1).
+    pub fn new(n_tags: usize, fer_threshold: f64) -> PowerController {
+        assert!(n_tags > 0, "need at least one tag");
+        assert!(
+            fer_threshold > 0.0 && fer_threshold < 1.0,
+            "FER threshold must be in (0, 1)"
+        );
+        PowerController {
+            fer_threshold,
+            ack_ratio_floor: 0.5,
+            max_cycles: 3 * n_tags,
+            cycles_done: 0,
+        }
+    }
+
+    /// The paper's configuration: 50 % ACK floor, 3 n cycles, and a 10 %
+    /// FER target.
+    pub fn paper_default(n_tags: usize) -> PowerController {
+        PowerController::new(n_tags, 0.1)
+    }
+
+    /// Creates a controller with an explicit cycle budget instead of the
+    /// paper's 3 n (used by the cycle-cap ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero or `fer_threshold` is outside (0, 1).
+    pub fn with_cycle_budget(fer_threshold: f64, budget: usize) -> PowerController {
+        assert!(budget > 0, "cycle budget must be non-zero");
+        assert!(
+            fer_threshold > 0.0 && fer_threshold < 1.0,
+            "FER threshold must be in (0, 1)"
+        );
+        PowerController {
+            fer_threshold,
+            ack_ratio_floor: 0.5,
+            max_cycles: budget,
+            cycles_done: 0,
+        }
+    }
+
+    /// Remaining adjustment cycles before the controller gives up (hands
+    /// over to node selection, §V-C).
+    pub fn cycles_remaining(&self) -> usize {
+        self.max_cycles.saturating_sub(self.cycles_done)
+    }
+
+    /// Runs one control round (lines 14–26).
+    pub fn round(&mut self, obs: &RoundObservation) -> PowerControlDecision {
+        let fer = obs.fer();
+        if self.cycles_done >= self.max_cycles {
+            return PowerControlDecision {
+                step_impedance: Vec::new(),
+                fer,
+                exhausted: true,
+            };
+        }
+        let mut step = Vec::new();
+        if fer > self.fer_threshold {
+            for (i, &ratio) in obs.ack_ratios().iter().enumerate() {
+                if ratio < self.ack_ratio_floor {
+                    step.push(i);
+                }
+            }
+            if !step.is_empty() {
+                self.cycles_done += 1;
+            }
+        }
+        PowerControlDecision {
+            step_impedance: step,
+            fer,
+            exhausted: self.cycles_done >= self.max_cycles,
+        }
+    }
+
+    /// Resets the cycle budget (a new deployment round).
+    pub fn reset(&mut self) {
+        self.cycles_done = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_system_is_left_alone() {
+        let mut pc = PowerController::paper_default(4);
+        let obs = RoundObservation::from_ack_ratios(&[0.95, 0.97, 0.99, 0.96]);
+        let d = pc.round(&obs);
+        assert!(d.is_stable());
+        assert!(d.fer < 0.1);
+        assert!(!d.exhausted);
+        assert_eq!(pc.cycles_remaining(), 12);
+    }
+
+    #[test]
+    fn starving_tags_are_stepped() {
+        let mut pc = PowerController::paper_default(3);
+        let obs = RoundObservation::from_ack_ratios(&[0.9, 0.2, 0.4]);
+        let d = pc.round(&obs);
+        assert_eq!(d.step_impedance, vec![1, 2]);
+        assert!((d.fer - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tags_above_half_are_not_stepped_even_when_fer_high() {
+        // Only tags under the 50% ACK floor actuate (line 17).
+        let mut pc = PowerController::paper_default(2);
+        let obs = RoundObservation::from_ack_ratios(&[0.6, 0.55]);
+        let d = pc.round(&obs);
+        assert!(d.is_stable());
+        assert!(d.fer > 0.1, "fer {}", d.fer);
+    }
+
+    #[test]
+    fn low_fer_suppresses_all_adjustment() {
+        // Even a sub-50% tag is left alone if the aggregate FER is under
+        // threshold (line 15 gates line 17).
+        let mut pc = PowerController::new(10, 0.2);
+        let mut ratios = vec![1.0; 10];
+        ratios[0] = 0.4;
+        let d = pc.round(&RoundObservation::from_ack_ratios(&ratios));
+        assert!(d.is_stable());
+    }
+
+    #[test]
+    fn cycle_budget_is_3n() {
+        let mut pc = PowerController::paper_default(2);
+        let bad = RoundObservation::from_ack_ratios(&[0.0, 0.0]);
+        for i in 0..6 {
+            let d = pc.round(&bad);
+            assert!(!d.step_impedance.is_empty(), "round {i} should adjust");
+        }
+        let d = pc.round(&bad);
+        assert!(d.exhausted);
+        assert!(d.is_stable(), "exhausted controller must stop actuating");
+    }
+
+    #[test]
+    fn reset_restores_budget() {
+        let mut pc = PowerController::paper_default(1);
+        let bad = RoundObservation::from_ack_ratios(&[0.0]);
+        for _ in 0..3 {
+            pc.round(&bad);
+        }
+        assert_eq!(pc.cycles_remaining(), 0);
+        pc.reset();
+        assert_eq!(pc.cycles_remaining(), 3);
+        assert!(!pc.round(&bad).is_stable());
+    }
+
+    #[test]
+    fn stable_rounds_do_not_consume_budget() {
+        let mut pc = PowerController::paper_default(2);
+        let good = RoundObservation::from_ack_ratios(&[1.0, 1.0]);
+        for _ in 0..100 {
+            pc.round(&good);
+        }
+        assert_eq!(pc.cycles_remaining(), 6);
+    }
+
+    #[test]
+    fn observation_from_counts() {
+        let obs = RoundObservation::from_counts(&[10, 5, 0], 10);
+        assert_eq!(obs.ack_ratios(), &[1.0, 0.5, 0.0]);
+        assert!((obs.fer() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_observation_has_zero_fer() {
+        assert_eq!(RoundObservation::from_ack_ratios(&[]).fer(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packet")]
+    fn zero_packets_panics() {
+        RoundObservation::from_counts(&[1], 0);
+    }
+}

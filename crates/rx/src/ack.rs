@@ -1,0 +1,104 @@
+//! The receiver's acknowledgement broadcast (§III-B).
+//!
+//! > "The receiver broadcasts the acknowledgement message to the
+//! > backscatter tags to indicate the ID of the successfully decoded tags.
+//! > … The ACK message is very important for the tag to adapt the power
+//! > level."
+//!
+//! [`AckMessage`] is that broadcast: the set of tag ids whose frames
+//! passed CRC in the last reception. The power-control loop in `cbma-mac`
+//! consumes it.
+
+use std::collections::BTreeSet;
+
+/// The broadcast acknowledgement listing decoded tag ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AckMessage {
+    decoded: BTreeSet<u32>,
+}
+
+impl AckMessage {
+    /// An empty ACK (nothing decoded).
+    pub fn new() -> AckMessage {
+        AckMessage::default()
+    }
+
+    /// Builds the ACK from the decoded tag ids.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> AckMessage {
+        AckMessage {
+            decoded: ids.into_iter().collect(),
+        }
+    }
+
+    /// Marks a tag as decoded.
+    pub fn insert(&mut self, tag_id: u32) {
+        self.decoded.insert(tag_id);
+    }
+
+    /// Whether the given tag was decoded.
+    pub fn acknowledges(&self, tag_id: u32) -> bool {
+        self.decoded.contains(&tag_id)
+    }
+
+    /// Number of decoded tags.
+    pub fn len(&self) -> usize {
+        self.decoded.len()
+    }
+
+    /// Whether nothing was decoded.
+    pub fn is_empty(&self) -> bool {
+        self.decoded.is_empty()
+    }
+
+    /// Iterates the decoded ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.decoded.iter().copied()
+    }
+}
+
+impl std::fmt::Display for AckMessage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ack[")?;
+        for (i, id) in self.decoded.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_tags_1_and_3() {
+        // §III-B: "the information from tag 1 and tag 3 are correctly
+        // decoded, the receiver then sends an ACK message that shows tag 1
+        // and 3 are decoded."
+        let ack = AckMessage::from_ids([1, 3]);
+        assert!(ack.acknowledges(1));
+        assert!(ack.acknowledges(3));
+        assert!(!ack.acknowledges(2));
+        assert_eq!(ack.len(), 2);
+        assert_eq!(ack.to_string(), "ack[1,3]");
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut ack = AckMessage::new();
+        assert!(ack.is_empty());
+        ack.insert(5);
+        ack.insert(5);
+        assert_eq!(ack.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let ack = AckMessage::from_ids([9, 1, 4]);
+        let ids: Vec<u32> = ack.iter().collect();
+        assert_eq!(ids, vec![1, 4, 9]);
+    }
+}

@@ -1,0 +1,181 @@
+//! The downlink ACK message format.
+//!
+//! §III-B: "the receiver then sends an ACK message that shows tag 1 and 3
+//! are decoded." This module pins down that message as actual bytes a tag
+//! controller can parse with a few gates: a magic nibble, a round counter
+//! (so stale ACKs are ignored), a bitmap of acknowledged tag ids, and a
+//! CRC-16 — the wire format behind [`AckMessage`].
+
+use cbma_tag::crc::crc16;
+use cbma_types::{CbmaError, Result};
+
+use crate::ack::AckMessage;
+
+/// Magic high nibble of the first byte.
+const MAGIC: u8 = 0xA0;
+
+/// Maximum tag id encodable (the bitmap is sized in whole bytes).
+pub const MAX_TAG_ID: u32 = 63;
+
+/// A serialized downlink acknowledgement.
+///
+/// Layout: `[MAGIC | bitmap_len(4b)] [round u16] [bitmap …] [crc16]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckWire {
+    /// Round counter (wraps at 2¹⁶).
+    pub round: u16,
+    /// The acknowledged set.
+    pub acks: AckMessage,
+}
+
+impl AckWire {
+    /// Wraps an ACK set for a round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::InvalidConfig`] if any id exceeds
+    /// [`MAX_TAG_ID`].
+    pub fn new(round: u16, acks: AckMessage) -> Result<AckWire> {
+        if let Some(bad) = acks.iter().find(|&id| id > MAX_TAG_ID) {
+            return Err(CbmaError::InvalidConfig(format!(
+                "tag id {bad} exceeds the downlink bitmap limit {MAX_TAG_ID}"
+            )));
+        }
+        Ok(AckWire { round, acks })
+    }
+
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let max_id = self.acks.iter().max().unwrap_or(0);
+        let bitmap_len = (max_id as usize / 8) + 1;
+        let mut out = Vec::with_capacity(3 + bitmap_len + 2);
+        out.push(MAGIC | bitmap_len as u8);
+        out.extend_from_slice(&self.round.to_be_bytes());
+        let mut bitmap = vec![0u8; bitmap_len];
+        for id in self.acks.iter() {
+            bitmap[id as usize / 8] |= 1 << (id % 8);
+        }
+        out.extend_from_slice(&bitmap);
+        let crc = crc16(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Parses bytes back into an ACK message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::MalformedFrame`] on structural problems and
+    /// [`CbmaError::CrcMismatch`] on a failed check.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AckWire> {
+        if bytes.len() < 6 {
+            return Err(CbmaError::MalformedFrame(format!(
+                "ack message needs at least 6 bytes, got {}",
+                bytes.len()
+            )));
+        }
+        if bytes[0] & 0xF0 != MAGIC {
+            return Err(CbmaError::MalformedFrame(
+                "ack message magic mismatch".into(),
+            ));
+        }
+        let bitmap_len = (bytes[0] & 0x0F) as usize;
+        let expected_len = 3 + bitmap_len + 2;
+        if bitmap_len == 0 || bytes.len() != expected_len {
+            return Err(CbmaError::MalformedFrame(format!(
+                "ack message length {} does not match header ({expected_len})",
+                bytes.len()
+            )));
+        }
+        let body = &bytes[..expected_len - 2];
+        let expected = u16::from_be_bytes([bytes[expected_len - 2], bytes[expected_len - 1]]);
+        let computed = crc16(body);
+        if expected != computed {
+            return Err(CbmaError::CrcMismatch { expected, computed });
+        }
+        let round = u16::from_be_bytes([bytes[1], bytes[2]]);
+        let mut acks = AckMessage::new();
+        for (byte_idx, &b) in bytes[3..3 + bitmap_len].iter().enumerate() {
+            for bit in 0..8 {
+                if b & (1 << bit) != 0 {
+                    acks.insert((byte_idx * 8 + bit) as u32);
+                }
+            }
+        }
+        AckWire::new(round, acks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_round_trip() {
+        // §III-B's example: tags 1 and 3 decoded.
+        let wire = AckWire::new(7, AckMessage::from_ids([1, 3])).unwrap();
+        let bytes = wire.to_bytes();
+        let parsed = AckWire::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, wire);
+        assert!(parsed.acks.acknowledges(1));
+        assert!(parsed.acks.acknowledges(3));
+        assert!(!parsed.acks.acknowledges(2));
+        assert_eq!(parsed.round, 7);
+    }
+
+    #[test]
+    fn empty_ack_round_trip() {
+        let wire = AckWire::new(0, AckMessage::new()).unwrap();
+        let parsed = AckWire::from_bytes(&wire.to_bytes()).unwrap();
+        assert!(parsed.acks.is_empty());
+    }
+
+    #[test]
+    fn large_ids_grow_the_bitmap() {
+        let wire = AckWire::new(1, AckMessage::from_ids([0, 63])).unwrap();
+        let bytes = wire.to_bytes();
+        assert_eq!(bytes.len(), 3 + 8 + 2);
+        let parsed = AckWire::from_bytes(&bytes).unwrap();
+        assert!(parsed.acks.acknowledges(0));
+        assert!(parsed.acks.acknowledges(63));
+        assert_eq!(parsed.acks.len(), 2);
+    }
+
+    #[test]
+    fn id_beyond_bitmap_rejected() {
+        assert!(AckWire::new(1, AckMessage::from_ids([64])).is_err());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let wire = AckWire::new(9, AckMessage::from_ids([2, 5])).unwrap();
+        let good = wire.to_bytes();
+        for idx in 0..good.len() {
+            let mut bad = good.clone();
+            bad[idx] ^= 0x10;
+            assert!(
+                AckWire::from_bytes(&bad).is_err(),
+                "flip at byte {idx} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_checks() {
+        assert!(AckWire::from_bytes(&[]).is_err());
+        assert!(AckWire::from_bytes(&[0x00; 6]).is_err()); // bad magic
+                                                           // Header claims a longer bitmap than the buffer carries.
+        let wire = AckWire::new(1, AckMessage::from_ids([1])).unwrap();
+        let mut bytes = wire.to_bytes();
+        bytes[0] = MAGIC | 0x03;
+        assert!(AckWire::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn round_counter_survives() {
+        for round in [0u16, 1, 255, 65535] {
+            let wire = AckWire::new(round, AckMessage::from_ids([4])).unwrap();
+            assert_eq!(AckWire::from_bytes(&wire.to_bytes()).unwrap().round, round);
+        }
+    }
+}

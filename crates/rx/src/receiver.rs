@@ -1,0 +1,578 @@
+//! The full receive chain: frame sync → user detection → decoding → ACK.
+//!
+//! [`Receiver`] is configured once per deployment with the complete code
+//! set, then [`Receiver::receive`] processes each captured IQ buffer the
+//! way the paper's USRP receiver does (§III-B): find the energy rise,
+//! correlate every known PN code's spread preamble around it, decode each
+//! detected user coherently, verify CRCs, and broadcast the ACK set.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbma_codes::{CodeFamily, GoldFamily};
+//! use cbma_rx::{Receiver, ReceiverConfig};
+//! use cbma_tag::{phy::PhyProfile, Tag};
+//! use cbma_types::geometry::Point;
+//! use cbma_types::Iq;
+//!
+//! let phy = PhyProfile::paper_default();
+//! let codes = GoldFamily::new(5)?.codes(2)?;
+//! let mut tag = Tag::new(0, Point::ORIGIN, codes[0].clone());
+//! let envelope = tag.transmit(b"ping".to_vec(), &phy)?;
+//!
+//! // A clean channel: the envelope at amplitude 0.01, after 300 samples
+//! // of silence.
+//! let mut iq = vec![Iq::ZERO; 300];
+//! iq.extend(envelope.iter().map(|&e| Iq::new(0.01 * e, 0.0)));
+//! iq.extend(vec![Iq::ZERO; 64]);
+//!
+//! let receiver = Receiver::new(codes, phy, ReceiverConfig::default());
+//! let report = receiver.receive(&iq);
+//! assert!(report.ack.acknowledges(0));
+//! # Ok::<(), cbma_types::CbmaError>(())
+//! ```
+
+use cbma_codes::PnCode;
+use cbma_tag::frame::Frame;
+use cbma_tag::phy::PhyProfile;
+use cbma_types::Iq;
+
+use crate::ack::AckMessage;
+use crate::decoder::{DecodeOutcome, Decoder, DecoderKind};
+use crate::frame_sync::FrameSync;
+use crate::user_detect::{DetectedUser, UserDetector};
+
+/// Tunable receiver parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverConfig {
+    /// Moving-average window Wₙ for the energy detector, in samples.
+    pub energy_window: usize,
+    /// Comparator threshold over the filtered floor, dB (paper: 3 dB).
+    pub energy_threshold_db: f64,
+    /// Normalized preamble-correlation threshold for user detection.
+    pub user_threshold: f64,
+    /// How far before the energy edge the preamble search starts, in
+    /// chips (the edge can fire slightly late on a slow rise).
+    pub search_back_chips: usize,
+    /// How far past the energy edge the preamble search extends, in
+    /// chips (bounds the tag asynchrony the receiver tolerates).
+    pub search_ahead_chips: usize,
+    /// Decision statistic: the paper's envelope receiver or the improved
+    /// coherent-IQ receiver.
+    pub decoder_kind: DecoderKind,
+    /// Successive-interference-cancellation passes (0 disables): after
+    /// each pass, decoded users are reconstructed and subtracted, and
+    /// detection re-runs for still-missing codes on the residual. A
+    /// receiver-side complement to the paper's tag-side power control.
+    pub sic_passes: usize,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> ReceiverConfig {
+        ReceiverConfig {
+            energy_window: 64,
+            energy_threshold_db: 3.0,
+            user_threshold: 0.35,
+            search_back_chips: 2,
+            search_ahead_chips: 6,
+            decoder_kind: DecoderKind::Coherent,
+            sic_passes: 0,
+        }
+    }
+}
+
+/// One decoded user within a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedUser {
+    /// The detection that led to this decode.
+    pub detection: DetectedUser,
+    /// The decode result.
+    pub outcome: DecodeOutcome,
+    /// The raw decoded bit stream (present whenever the header decoded),
+    /// for bit-error instrumentation.
+    pub bits: Option<cbma_types::Bits>,
+}
+
+/// The result of processing one captured buffer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RxReport {
+    /// Whether the energy detector found a frame at all.
+    pub frame_detected: bool,
+    /// Every detected user with its decode outcome.
+    pub users: Vec<DecodedUser>,
+    /// The broadcast ACK (ids whose frames passed CRC).
+    pub ack: AckMessage,
+}
+
+impl RxReport {
+    /// Ids of users that were detected (preamble correlation), decoded or
+    /// not.
+    pub fn detected_ids(&self) -> Vec<usize> {
+        self.users.iter().map(|u| u.detection.code_index).collect()
+    }
+
+    /// The successfully decoded frames as `(tag id, frame)` pairs.
+    pub fn frames(&self) -> Vec<(usize, &Frame)> {
+        self.users
+            .iter()
+            .filter_map(|u| u.outcome.frame().map(|f| (u.detection.code_index, f)))
+            .collect()
+    }
+}
+
+/// The CBMA receiver for one deployment's code set.
+#[derive(Debug)]
+pub struct Receiver {
+    codes: Vec<PnCode>,
+    phy: PhyProfile,
+    config: ReceiverConfig,
+    sync: FrameSync,
+    detector: UserDetector,
+    decoders: Vec<Decoder>,
+    /// Extra backward search in chips: a code that begins with a run of
+    /// `0` chips radiates nothing until the run ends, so the energy edge
+    /// fires that many chips *after* the frame start.
+    leading_silence_chips: usize,
+}
+
+impl Receiver {
+    /// Builds a receiver that knows the full code set of the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty or the config thresholds are out of
+    /// range (see [`UserDetector::new`]).
+    pub fn new(codes: Vec<PnCode>, phy: PhyProfile, config: ReceiverConfig) -> Receiver {
+        let sync = FrameSync::new(
+            config.energy_window,
+            cbma_types::units::Db::new(config.energy_threshold_db),
+        );
+        let detector =
+            UserDetector::with_kind(&codes, &phy, config.user_threshold, config.decoder_kind);
+        let decoders = codes
+            .iter()
+            .map(|c| Decoder::with_kind(c, &phy, config.decoder_kind))
+            .collect();
+        let leading_silence_chips = codes
+            .iter()
+            .map(|c| c.bits().iter().take_while(|&b| b == 0).count())
+            .max()
+            .unwrap_or(0);
+        Receiver {
+            codes,
+            phy,
+            config,
+            sync,
+            detector,
+            decoders,
+            leading_silence_chips,
+        }
+    }
+
+    /// The PHY profile the receiver is configured for.
+    #[inline]
+    pub fn phy(&self) -> &PhyProfile {
+        &self.phy
+    }
+
+    /// The number of codes (potential users) known to the receiver.
+    #[inline]
+    pub fn code_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Processes one captured IQ buffer end to end, applying any
+    /// configured SIC passes.
+    pub fn receive(&self, samples: &[Iq]) -> RxReport {
+        let mut report = self.receive_once(samples);
+        for _ in 0..self.config.sic_passes {
+            if !self.sic_pass(samples, &mut report) {
+                break;
+            }
+        }
+        report
+    }
+
+    /// One SIC pass: subtract every decoded user, re-run the pipeline on
+    /// the residual, and adopt newly decoded codes. Returns whether the
+    /// report changed.
+    fn sic_pass(&self, samples: &[Iq], report: &mut RxReport) -> bool {
+        let decoded_codes: Vec<&DecodedUser> = report
+            .users
+            .iter()
+            .filter(|u| u.outcome.is_frame())
+            .collect();
+        if decoded_codes.is_empty() || decoded_codes.len() == self.codes.len() {
+            return false;
+        }
+        let spc = self.phy.samples_per_chip();
+        let mut residual = samples.to_vec();
+        let mut claimed: Vec<Vec<u8>> = Vec::new();
+        for user in &decoded_codes {
+            let frame = user.outcome.frame().expect("filtered to frames");
+            claimed.push(frame.payload().to_vec());
+            let envelope = crate::sic::reconstruct_envelope(
+                frame,
+                &self.codes[user.detection.code_index],
+                &self.phy,
+            );
+            let window = self.codes[user.detection.code_index].len() * spc;
+            crate::sic::cancel_user(&mut residual, user.detection.start, &envelope, window);
+        }
+
+        let rerun = self.receive_once(&residual);
+        let mut changed = false;
+        for new_user in rerun.users {
+            if !new_user.outcome.is_frame() {
+                continue;
+            }
+            let code = new_user.detection.code_index;
+            let already = report
+                .users
+                .iter()
+                .any(|u| u.detection.code_index == code && u.outcome.is_frame());
+            let duplicate = new_user
+                .outcome
+                .frame()
+                .map(|f| claimed.iter().any(|p| p.as_slice() == f.payload()))
+                .unwrap_or(false);
+            if already || duplicate {
+                continue;
+            }
+            report.ack.insert(code as u32);
+            if let Some(existing) = report
+                .users
+                .iter_mut()
+                .find(|u| u.detection.code_index == code)
+            {
+                *existing = new_user;
+            } else {
+                report.users.push(new_user);
+            }
+            changed = true;
+        }
+        changed
+    }
+
+    /// Runs the detection/decode pipeline once (no SIC).
+    fn receive_once(&self, samples: &[Iq]) -> RxReport {
+        let Some(edge) = self.sync.best_edge(samples) else {
+            return RxReport::default();
+        };
+        let spc = self.phy.samples_per_chip();
+        let back = (self.config.search_back_chips + self.leading_silence_chips) * spc;
+        let ahead = self.config.search_ahead_chips * spc;
+        let window_start = edge.index.saturating_sub(back);
+        // The search window must cover the longest spread preamble plus
+        // the asynchrony allowance.
+        let max_ref = (0..self.codes.len())
+            .map(|i| self.detector.reference_len(i))
+            .max()
+            .unwrap_or(0);
+        let window_end = (window_start + back + ahead + max_ref).min(samples.len());
+        if window_end <= window_start {
+            return RxReport {
+                frame_detected: true,
+                ..RxReport::default()
+            };
+        }
+        let window = &samples[window_start..window_end];
+        let candidates = self.detector.detect_candidates(window, window_start, 8);
+
+        // Phase 1: decode every sync candidate of every code.
+        let mut decoded: Vec<Vec<DecodedUser>> = Vec::with_capacity(candidates.len());
+        for code_candidates in candidates {
+            decoded.push(
+                code_candidates
+                    .into_iter()
+                    .map(|det| {
+                        let (outcome, bits) = self.decoders[det.code_index].decode_frame_with_bits(
+                            samples,
+                            det.start,
+                            det.channel_gain,
+                        );
+                        DecodedUser {
+                            detection: det,
+                            outcome,
+                            bits,
+                        }
+                    })
+                    .collect(),
+            );
+        }
+
+        // Phase 2: resolve cross-code aliases globally. A shifted copy of
+        // one tag's waveform can correlate above threshold under another
+        // code and decode the victim's byte-identical frame — so accept
+        // valid candidates in descending correlation order, skipping any
+        // whose payload is already claimed by an accepted candidate of a
+        // different code, then fall back per code to its strongest
+        // remaining candidate.
+        let mut order: Vec<(usize, usize)> = Vec::new(); // (code, cand index)
+        for (c, cands) in decoded.iter().enumerate() {
+            for (k, u) in cands.iter().enumerate() {
+                if u.outcome.is_frame() {
+                    order.push((c, k));
+                }
+            }
+        }
+        order.sort_by(|a, b| {
+            decoded[b.0][b.1]
+                .detection
+                .correlation
+                .partial_cmp(&decoded[a.0][a.1].detection.correlation)
+                .expect("correlations are finite")
+        });
+        let mut accepted: Vec<Option<usize>> = vec![None; decoded.len()];
+        let mut claimed: Vec<(usize, Vec<u8>)> = Vec::new(); // (code, payload)
+        for (c, k) in order {
+            if accepted[c].is_some() {
+                continue;
+            }
+            let payload = decoded[c][k]
+                .outcome
+                .frame()
+                .expect("only valid frames enter the order")
+                .payload()
+                .to_vec();
+            let duplicate = claimed.iter().any(|(oc, p)| *oc != c && *p == payload);
+            if duplicate {
+                continue;
+            }
+            claimed.push((c, payload));
+            accepted[c] = Some(k);
+        }
+
+        // Phase 3: fine-alignment fallback. Orthogonal concurrent tags
+        // null each other's interference exactly at the true alignment,
+        // so the correlation profile *dips* there and the peak-picking of
+        // phase 1 can miss it entirely. Re-probe codes that still lack a
+        // valid frame at timing hypotheses: the starts of accepted users
+        // (tags share coarse timing) and the search-window origin, each
+        // scanned over ±1 chip.
+        let accepted_starts: Vec<usize> = accepted
+            .iter()
+            .enumerate()
+            .filter_map(|(c, k)| k.map(|k| decoded[c][k].detection.start))
+            .collect();
+        for c in 0..decoded.len() {
+            if accepted[c].is_some() {
+                continue;
+            }
+            let mut hypotheses = accepted_starts.clone();
+            hypotheses.push(window_start + back);
+            let mut probe_offsets: Vec<usize> = Vec::new();
+            for h in hypotheses {
+                for d in 0..=(2 * spc) {
+                    let off = (h + d).saturating_sub(spc);
+                    if !probe_offsets.contains(&off) {
+                        probe_offsets.push(off);
+                    }
+                }
+            }
+            'probe: for off in probe_offsets {
+                let Some(det) = self.detector.probe(samples, off, c) else {
+                    continue;
+                };
+                // The probe must still clear the user-detection threshold
+                // (§III-B's "predetermined threshold") — this is the
+                // receiver's near-far limit: a tag far below the aggregate
+                // received energy is undetectable until power control
+                // equalizes the group.
+                if det.correlation < self.detector.threshold() {
+                    continue;
+                }
+                let (outcome, bits) =
+                    self.decoders[c].decode_frame_with_bits(samples, det.start, det.channel_gain);
+                if let Some(frame) = outcome.frame() {
+                    let duplicate = claimed
+                        .iter()
+                        .any(|(oc, p)| *oc != c && p.as_slice() == frame.payload());
+                    if !duplicate {
+                        claimed.push((c, frame.payload().to_vec()));
+                        // Record as an extra accepted candidate.
+                        decoded[c].push(DecodedUser {
+                            detection: det,
+                            outcome,
+                            bits,
+                        });
+                        accepted[c] = Some(decoded[c].len() - 1);
+                        break 'probe;
+                    }
+                }
+            }
+        }
+
+        let mut users = Vec::new();
+        let mut ack = AckMessage::new();
+        for (c, cands) in decoded.into_iter().enumerate() {
+            if cands.is_empty() {
+                continue;
+            }
+            if let Some(k) = accepted[c] {
+                ack.insert(c as u32);
+                users.push(cands.into_iter().nth(k).expect("accepted index is valid"));
+            } else {
+                // No acceptable frame: report the strongest candidate,
+                // marking valid-but-duplicate decodes as alias suppressed.
+                let mut strongest = cands
+                    .into_iter()
+                    .next()
+                    .expect("candidate list is non-empty");
+                if strongest.outcome.is_frame() {
+                    strongest.outcome =
+                        DecodeOutcome::Invalid(cbma_types::CbmaError::MalformedFrame(
+                            "suppressed as a cross-code alias of a stronger user".into(),
+                        ));
+                }
+                users.push(strongest);
+            }
+        }
+        RxReport {
+            frame_detected: true,
+            users,
+            ack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_codes::{CodeFamily, GoldFamily, TwoNcFamily};
+    use cbma_tag::Tag;
+    use cbma_types::geometry::Point;
+
+    fn clean_capture(envelopes: &[(Vec<f64>, Iq, usize)], lead: usize) -> Vec<Iq> {
+        let total = lead
+            + envelopes
+                .iter()
+                .map(|(e, _, d)| e.len() + d)
+                .max()
+                .unwrap_or(0)
+            + 64;
+        let mut buf = vec![Iq::ZERO; total];
+        for (env, gain, delay) in envelopes {
+            for (i, &e) in env.iter().enumerate() {
+                buf[lead + delay + i] += gain.scale(e);
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn single_tag_end_to_end() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+        let mut tag = Tag::new(1, Point::ORIGIN, codes[1].clone());
+        let env = tag.transmit(b"temperature=21".to_vec(), &phy).unwrap();
+        let buf = clean_capture(&[(env, Iq::from_polar(0.01, 0.4), 0)], 400);
+        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let report = rx.receive(&buf);
+        assert!(report.frame_detected);
+        assert_eq!(report.ack.len(), 1);
+        assert!(report.ack.acknowledges(1));
+        let frames = report.frames();
+        assert_eq!(frames[0].1.payload(), b"temperature=21");
+    }
+
+    #[test]
+    fn three_tag_collision_all_decoded() {
+        let phy = PhyProfile::paper_default();
+        let codes = TwoNcFamily::new(5).unwrap().codes(5).unwrap();
+        let mut envs = Vec::new();
+        for (i, delay) in [(0usize, 0usize), (2, 5), (4, 11)] {
+            let mut tag = Tag::new(i as u32, Point::ORIGIN, codes[i].clone());
+            let env = tag
+                .transmit(format!("tag {i} says hi").into_bytes(), &phy)
+                .unwrap();
+            let phase = 0.9 * i as f64;
+            envs.push((env, Iq::from_polar(0.01, phase), delay));
+        }
+        let buf = clean_capture(&envs, 400);
+        // Coherent mode: phase-diverse equal-power collisions are the
+        // coherent receiver's home turf (the envelope mode's near-far
+        // behaviour is exercised by the simulation tests).
+        let config = ReceiverConfig {
+            decoder_kind: DecoderKind::Coherent,
+            ..ReceiverConfig::default()
+        };
+        let rx = Receiver::new(codes, phy, config);
+        let report = rx.receive(&buf);
+        assert!(report.ack.acknowledges(0), "{report:?}");
+        assert!(report.ack.acknowledges(2));
+        assert!(report.ack.acknowledges(4));
+        assert!(!report.ack.acknowledges(1));
+        assert!(!report.ack.acknowledges(3));
+    }
+
+    #[test]
+    fn silence_reports_nothing() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let report = rx.receive(&vec![Iq::new(1e-6, 0.0); 4000]);
+        assert!(!report.frame_detected);
+        assert!(report.users.is_empty());
+        assert!(report.ack.is_empty());
+    }
+
+    #[test]
+    fn detected_ids_lists_detections() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+        let mut tag = Tag::new(0, Point::ORIGIN, codes[0].clone());
+        let env = tag.transmit(b"x".to_vec(), &phy).unwrap();
+        let buf = clean_capture(&[(env, Iq::new(0.01, 0.0), 0)], 400);
+        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let report = rx.receive(&buf);
+        assert_eq!(report.detected_ids(), vec![0]);
+    }
+
+    #[test]
+    fn sic_recovers_a_buried_weak_user() {
+        let phy = PhyProfile::paper_default();
+        let codes = TwoNcFamily::new(4).unwrap().codes(4).unwrap();
+        let mut strong = Tag::new(0, Point::ORIGIN, codes[0].clone());
+        let mut weak = Tag::new(1, Point::ORIGIN, codes[1].clone());
+        let es = strong.transmit(b"strong tag".to_vec(), &phy).unwrap();
+        let ew = weak.transmit(b"weak tag!!".to_vec(), &phy).unwrap();
+        // 30 dB of power imbalance: the weak preamble correlation sits far
+        // below the detection threshold until the strong user is
+        // cancelled.
+        let buf = clean_capture(
+            &[
+                (es, Iq::from_polar(0.02, 0.4), 0),
+                (ew, Iq::from_polar(0.00063, 2.0), 3),
+            ],
+            400,
+        );
+        let base = Receiver::new(codes.clone(), phy, ReceiverConfig::default());
+        let without = base.receive(&buf);
+        assert!(without.ack.acknowledges(0));
+        assert!(
+            !without.ack.acknowledges(1),
+            "weak tag should be invisible without SIC: {without:?}"
+        );
+        let config = ReceiverConfig {
+            sic_passes: 1,
+            ..ReceiverConfig::default()
+        };
+        let rx = Receiver::new(codes, phy, config);
+        let with = rx.receive(&buf);
+        assert!(with.ack.acknowledges(0));
+        assert!(with.ack.acknowledges(1), "SIC should reveal the weak tag");
+        let frames = with.frames();
+        let weak_frame = frames.iter().find(|(id, _)| *id == 1).unwrap();
+        assert_eq!(weak_frame.1.payload(), b"weak tag!!");
+    }
+
+    #[test]
+    fn code_count_accessor() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(7).unwrap();
+        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        assert_eq!(rx.code_count(), 7);
+        assert_eq!(rx.phy().preamble_bits, 8);
+    }
+}

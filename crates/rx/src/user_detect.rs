@@ -1,0 +1,404 @@
+//! User detection by preamble cross-correlation (§III-B).
+//!
+//! > "We utilize the orthogonality feature among PN sequences to perform
+//! > user detection. Specifically, we use each of the PN sequences to
+//! > cross-correlate with the preamble of the received frame. If the
+//! > correlation value of a PN sequence is larger than a predetermined
+//! > threshold, the user with this PN sequence is determined to be in the
+//! > frame with high probability."
+//!
+//! For each candidate code the detector builds the *spread preamble*
+//! reference — the known alternating preamble bits spread by that code and
+//! mapped to ±1 at the receiver sample rate — and slides it over a search
+//! window around the energy edge. Because concurrent tags are
+//! asynchronous, each detected user gets its own alignment offset, and the
+//! complex correlation at the peak doubles as the channel-gain estimate
+//! the decoder needs for coherent bit decisions.
+
+use cbma_codes::PnCode;
+use cbma_dsp::correlate::correlate_iq_bipolar;
+use cbma_dsp::resample::upsample_repeat;
+use cbma_tag::frame::preamble_pattern;
+use cbma_tag::phy::PhyProfile;
+use cbma_types::Iq;
+
+use crate::decoder::DecoderKind;
+
+/// Correlation of the mean-removed envelope of `seg` against `reference`,
+/// plus the mean-removed envelope's energy (for normalization).
+fn envelope_correlation(seg: &[Iq], reference: &[f64]) -> (f64, f64) {
+    let n = seg.len() as f64;
+    let mean = seg.iter().map(|s| s.abs()).sum::<f64>() / n;
+    let mut corr = 0.0;
+    let mut energy = 0.0;
+    for (s, &r) in seg.iter().zip(reference) {
+        let e = s.abs() - mean;
+        corr += e * r;
+        energy += e * e;
+    }
+    (corr, energy)
+}
+
+/// A user found in the received frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedUser {
+    /// Index of the PN code (== tag id) that matched.
+    pub code_index: usize,
+    /// Sample offset (into the scanned buffer) where the user's frame
+    /// starts.
+    pub start: usize,
+    /// Normalized correlation at the peak, in [0, 1].
+    pub correlation: f64,
+    /// Complex channel-gain estimate ĝ from the preamble.
+    pub channel_gain: Iq,
+}
+
+/// The user detector for a known code set.
+#[derive(Debug)]
+pub struct UserDetector {
+    /// Bipolar spread-preamble reference per code, at sample rate.
+    references: Vec<Vec<f64>>,
+    /// Per-code balance-corrected correlation scale (see
+    /// [`UserDetector::detect_in`]).
+    gain_scale: Vec<f64>,
+    threshold: f64,
+    samples_per_chip: usize,
+    kind: DecoderKind,
+}
+
+impl UserDetector {
+    /// Builds a detector for the full code set of a deployment.
+    ///
+    /// `threshold` is the normalized-correlation decision level in (0, 1);
+    /// the evaluation uses 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside (0, 1) or `codes` is empty.
+    pub fn new(codes: &[PnCode], phy: &PhyProfile, threshold: f64) -> UserDetector {
+        UserDetector::with_kind(codes, phy, threshold, DecoderKind::Coherent)
+    }
+
+    /// Builds a detector with an explicit decision statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside (0, 1) or `codes` is empty.
+    pub fn with_kind(
+        codes: &[PnCode],
+        phy: &PhyProfile,
+        threshold: f64,
+        kind: DecoderKind,
+    ) -> UserDetector {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must be in (0, 1), got {threshold}"
+        );
+        assert!(!codes.is_empty(), "need at least one code");
+        let spc = phy.samples_per_chip();
+        let preamble = preamble_pattern(phy.preamble_bits);
+        let mut references = Vec::with_capacity(codes.len());
+        let mut gain_scale = Vec::with_capacity(codes.len());
+        for code in codes {
+            let mut chips: Vec<f64> = Vec::with_capacity(preamble.len() * code.len());
+            for bit in preamble.iter() {
+                let word = if bit == 1 {
+                    code.bipolar_one()
+                } else {
+                    code.bipolar_zero()
+                };
+                chips.extend_from_slice(word);
+            }
+            let reference = upsample_repeat(&chips, spc);
+            // The received OOK envelope is (b+1)/2, so
+            // E[corr] = ĝ · (Σb² + Σb)/2 = ĝ · (n + balance)/2.
+            let sum: f64 = reference.iter().sum();
+            let n = reference.len() as f64;
+            gain_scale.push((n + sum) / 2.0);
+            references.push(reference);
+        }
+        UserDetector {
+            references,
+            gain_scale,
+            threshold,
+            samples_per_chip: spc,
+            kind,
+        }
+    }
+
+    /// The detection threshold.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Length of the spread-preamble reference in samples.
+    pub fn reference_len(&self, code_index: usize) -> usize {
+        self.references[code_index].len()
+    }
+
+    /// Scans `window` (a slice of the received buffer starting at
+    /// `window_origin`) for every known code. Returns, per code, up to
+    /// `max_candidates` alignment candidates above the threshold, ordered
+    /// by decreasing correlation. Codes with no candidate get an empty
+    /// vector.
+    ///
+    /// Multiple candidates matter because an alternating preamble under
+    /// complement signalling repeats its correlation magnitude at whole-
+    /// code-word shifts, and interference can push a sidelobe above the
+    /// true peak — the receiver disambiguates by *validating* candidates
+    /// (preamble/CRC check) in correlation order, the way hardware
+    /// receivers qualify sync candidates.
+    pub fn detect_candidates(
+        &self,
+        window: &[Iq],
+        window_origin: usize,
+        max_candidates: usize,
+    ) -> Vec<Vec<DetectedUser>> {
+        let mut all = Vec::with_capacity(self.references.len());
+        for (idx, reference) in self.references.iter().enumerate() {
+            if reference.len() > window.len() {
+                all.push(Vec::new());
+                continue;
+            }
+            // Sliding normalized correlation: normalize by the reference
+            // energy and the windowed signal energy.
+            let ref_energy: f64 = reference.iter().map(|r| r * r).sum();
+            let mut profile = Vec::with_capacity(window.len() - reference.len() + 1);
+            for off in 0..=window.len() - reference.len() {
+                let seg = &window[off..off + reference.len()];
+                let (c, seg_energy) = match self.kind {
+                    DecoderKind::Coherent => (
+                        correlate_iq_bipolar(seg, reference).abs(),
+                        seg.iter().map(|s| s.power()).sum(),
+                    ),
+                    DecoderKind::Envelope => {
+                        let (corr, energy) = envelope_correlation(seg, reference);
+                        (corr.abs(), energy)
+                    }
+                };
+                let denom = (seg_energy * ref_energy).sqrt();
+                profile.push(if denom > 0.0 { c / denom } else { 0.0 });
+            }
+            // Local maxima above threshold, non-maximum-suppressed over a
+            // ±one-chip neighbourhood (candidates one chip apart are
+            // genuinely different alignments the decoder must test),
+            // strongest first.
+            let nms_radius = self.samples_per_chip.max(2);
+            let mut peaks: Vec<(usize, f64)> = (0..profile.len())
+                .filter(|&i| {
+                    let v = profile[i];
+                    v >= self.threshold
+                        && (i == 0 || profile[i - 1] <= v)
+                        && (i + 1 == profile.len() || profile[i + 1] < v)
+                })
+                .map(|i| (i, profile[i]))
+                .collect();
+            peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let mut selected: Vec<(usize, f64)> = Vec::new();
+            for (off, val) in peaks {
+                if selected.iter().all(|&(o, _)| off.abs_diff(o) >= nms_radius) {
+                    selected.push((off, val));
+                    if selected.len() >= max_candidates {
+                        break;
+                    }
+                }
+            }
+            let candidates = selected
+                .into_iter()
+                .map(|(off, val)| {
+                    let seg = &window[off..off + reference.len()];
+                    let gain = self.gain_estimate(seg, reference, idx);
+                    DetectedUser {
+                        code_index: idx,
+                        start: window_origin + off,
+                        correlation: val,
+                        channel_gain: gain,
+                    }
+                })
+                .collect();
+            all.push(candidates);
+        }
+        all
+    }
+
+    /// Probes one exact alignment for one code: computes the normalized
+    /// preamble correlation and channel-gain estimate at `start` (an
+    /// absolute offset into `samples`). Returns `None` when the buffer is
+    /// too short.
+    ///
+    /// Used by the receiver's fine-alignment fallback: under concurrent
+    /// orthogonal tags the correlation profile *dips* at the true
+    /// alignment (MAI is nulled there and leaks everywhere else), so the
+    /// true start may not be a local maximum — but it can be probed
+    /// directly from a timing hypothesis.
+    pub fn probe(&self, samples: &[Iq], start: usize, code_index: usize) -> Option<DetectedUser> {
+        let reference = &self.references[code_index];
+        if start + reference.len() > samples.len() {
+            return None;
+        }
+        let seg = &samples[start..start + reference.len()];
+        let ref_energy: f64 = reference.iter().map(|r| r * r).sum();
+        let (c, seg_energy) = match self.kind {
+            DecoderKind::Coherent => (
+                correlate_iq_bipolar(seg, reference).abs(),
+                seg.iter().map(|s| s.power()).sum(),
+            ),
+            DecoderKind::Envelope => {
+                let (corr, energy) = envelope_correlation(seg, reference);
+                (corr.abs(), energy)
+            }
+        };
+        let denom = (seg_energy * ref_energy).sqrt();
+        Some(DetectedUser {
+            code_index,
+            start,
+            correlation: if denom > 0.0 { c / denom } else { 0.0 },
+            channel_gain: self.gain_estimate(seg, reference, code_index),
+        })
+    }
+
+    /// Channel-gain estimate at an exact alignment (used by the coherent
+    /// decoder; informational in envelope mode).
+    fn gain_estimate(&self, seg: &[Iq], reference: &[f64], code_index: usize) -> Iq {
+        correlate_iq_bipolar(seg, reference) / self.gain_scale[code_index]
+    }
+
+    /// Convenience wrapper returning only each code's strongest candidate.
+    pub fn detect_in(&self, window: &[Iq], window_origin: usize) -> Vec<DetectedUser> {
+        self.detect_candidates(window, window_origin, 1)
+            .into_iter()
+            .filter_map(|c| c.into_iter().next())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_codes::{CodeFamily, GoldFamily};
+    use cbma_tag::encoder::spread;
+    use cbma_tag::modulator::ook_envelope;
+
+    fn phy() -> PhyProfile {
+        PhyProfile::paper_default()
+    }
+
+    /// Builds the received IQ for a preamble-led chip stream with a given
+    /// complex gain, preceded by `lead` zero samples.
+    fn rx_signal(code: &PnCode, gain: Iq, lead: usize, extra_bits: &str) -> Vec<Iq> {
+        let p = phy();
+        let mut bits = preamble_pattern(p.preamble_bits);
+        for b in cbma_types::Bits::from_str(extra_bits).unwrap().iter() {
+            bits.push(b);
+        }
+        let env = ook_envelope(&spread(&bits, code), p.samples_per_chip());
+        let mut buf = vec![Iq::ZERO; lead];
+        buf.extend(env.iter().map(|&e| gain.scale(e)));
+        buf
+    }
+
+    #[test]
+    fn detects_single_user_at_correct_offset() {
+        let family = GoldFamily::new(5).unwrap();
+        let codes = family.codes(4).unwrap();
+        let det = UserDetector::new(&codes, &phy(), 0.5);
+        let buf = rx_signal(&codes[2], Iq::new(1.0, 0.0), 40, "1100");
+        let users = det.detect_in(&buf, 0);
+        assert_eq!(users.len(), 1);
+        assert_eq!(users[0].code_index, 2);
+        assert_eq!(users[0].start, 40);
+        // A clean OOK signal tops out near √2/2 ≈ 0.707 in this
+        // normalization (the envelope's DC half carries no correlation).
+        assert!(users[0].correlation > 0.65, "corr {}", users[0].correlation);
+    }
+
+    #[test]
+    fn channel_gain_estimate_recovers_phase_and_amplitude() {
+        let family = GoldFamily::new(5).unwrap();
+        let codes = family.codes(2).unwrap();
+        let det = UserDetector::new(&codes, &phy(), 0.5);
+        let g = Iq::from_polar(0.02, 1.1);
+        let buf = rx_signal(&codes[0], g, 16, "10");
+        let users = det.detect_in(&buf, 0);
+        assert_eq!(users.len(), 1);
+        let est = users[0].channel_gain;
+        assert!((est.abs() - 0.02).abs() / 0.02 < 0.1, "gain {est}");
+        assert!((est.arg() - 1.1).abs() < 0.1, "phase {}", est.arg());
+    }
+
+    #[test]
+    fn detects_two_asynchronous_users() {
+        let family = GoldFamily::new(5).unwrap();
+        let codes = family.codes(3).unwrap();
+        let det = UserDetector::with_kind(&codes, &phy(), 0.35, DecoderKind::Coherent);
+        let a = rx_signal(&codes[0], Iq::new(1.0, 0.0), 20, "01");
+        let b = rx_signal(&codes[1], Iq::new(0.0, 1.0), 60, "11");
+        let n = a.len().max(b.len());
+        let mut buf = vec![Iq::ZERO; n];
+        for (i, s) in a.into_iter().enumerate() {
+            buf[i] += s;
+        }
+        for (i, s) in b.into_iter().enumerate() {
+            buf[i] += s;
+        }
+        let candidates = det.detect_candidates(&buf, 0, 4);
+        assert!(!candidates[0].is_empty(), "user 0 missed");
+        assert!(!candidates[1].is_empty(), "user 1 missed");
+        assert!(
+            candidates[2].is_empty(),
+            "phantom user 2: {:?}",
+            candidates[2]
+        );
+        // The true alignments must be among the qualified candidates (the
+        // receiver disambiguates by decode validation).
+        assert!(
+            candidates[0].iter().any(|u| u.start == 20),
+            "user 0 candidates {:?}",
+            candidates[0]
+        );
+        assert!(
+            candidates[1].iter().any(|u| u.start == 60),
+            "user 1 candidates {:?}",
+            candidates[1]
+        );
+    }
+
+    #[test]
+    fn absent_users_stay_undetected_in_noise() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let family = GoldFamily::new(5).unwrap();
+        let codes = family.codes(5).unwrap();
+        let det = UserDetector::new(&codes, &phy(), 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let buf: Vec<Iq> = (0..6000)
+            .map(|_| Iq::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        assert!(det.detect_in(&buf, 0).is_empty());
+    }
+
+    #[test]
+    fn window_origin_offsets_reported_start() {
+        let family = GoldFamily::new(5).unwrap();
+        let codes = family.codes(1).unwrap();
+        let det = UserDetector::new(&codes, &phy(), 0.5);
+        let buf = rx_signal(&codes[0], Iq::ONE, 8, "1");
+        let users = det.detect_in(&buf, 1000);
+        assert_eq!(users[0].start, 1008);
+    }
+
+    #[test]
+    fn short_window_is_skipped() {
+        let family = GoldFamily::new(5).unwrap();
+        let codes = family.codes(1).unwrap();
+        let det = UserDetector::new(&codes, &phy(), 0.5);
+        assert!(det.detect_in(&[Iq::ONE; 10], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let family = GoldFamily::new(5).unwrap();
+        UserDetector::new(&family.codes(1).unwrap(), &phy(), 1.5);
+    }
+}

@@ -1,0 +1,28 @@
+use cbma_sim::prelude::*;
+fn main() {
+    for (rate, drift) in [
+        (250e3, 20.0),
+        (250e3, 10.0),
+        (250e3, 5.0),
+        (1e6, 5.0),
+        (5e6, 5.0),
+        (1e6, 10.0),
+        (5e6, 10.0),
+    ] {
+        let mut s = Scenario::paper_default(vec![
+            Point::new(0.15, 0.45),
+            Point::new(-0.15, 0.45),
+            Point::new(0.15, -0.45),
+            Point::new(-0.15, -0.45),
+        ]);
+        s.phy = s.phy.with_chip_rate(Hertz::new(rate));
+        s.clock.jitter_samples = s.phy.samples_per_chip() as f64;
+        s.clock.drift_ppm = drift;
+        let mut e = Engine::new(s).unwrap();
+        for t in e.tags_mut() {
+            t.set_impedance(ImpedanceState::Open);
+        }
+        let st = e.run_rounds(40);
+        println!("rate {rate:.0} drift {drift}: fer {:.3}", st.fer());
+    }
+}

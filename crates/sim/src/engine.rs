@@ -1,0 +1,540 @@
+//! The end-to-end simulation engine.
+//!
+//! [`Engine::run_round`] performs one "collided packet" experiment exactly
+//! the way the paper's testbed does: every active tag frames and spreads a
+//! payload, the channel superposes the asynchronous, power-imbalanced
+//! waveforms, and the receiver detects/decodes and broadcasts the ACK that
+//! feeds the tags' statistics. Rounds are deterministic in
+//! `(scenario.seed, round index)`.
+
+use rand::Rng;
+
+use cbma_channel::mixer::{Mixer, TagSignal};
+use cbma_rx::{Receiver, RxReport};
+use cbma_tag::{ImpedanceBank, Tag};
+use cbma_types::geometry::Point;
+use cbma_types::{Result, SeedSequence};
+
+use crate::scenario::Scenario;
+use crate::stats::RunStats;
+
+/// Per-tag channel realization metadata for one round (diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalMeta {
+    /// Tag index.
+    pub tag: usize,
+    /// Mean link amplitude (√W) before fading.
+    pub amplitude: f64,
+    /// Realized main-tap fading power gain.
+    pub fading_power: f64,
+    /// Start delay in samples.
+    pub delay_samples: f64,
+    /// Static carrier phase.
+    pub phase: f64,
+}
+
+/// The outcome of one transmission round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Indices of the tags that transmitted.
+    pub active: Vec<usize>,
+    /// The receiver's report.
+    pub report: RxReport,
+    /// Active tags whose frame was decoded *with the transmitted payload*
+    /// (an ACK under the right id but the wrong bytes does not count).
+    pub delivered: Vec<usize>,
+    /// Per-tag bit-error measurements `(tag, errored bits, total bits)`
+    /// for active tags whose header decoded with the right length.
+    pub bit_errors: Vec<(usize, usize, usize)>,
+    /// Channel realization diagnostics, index-aligned with `active`.
+    pub signal_meta: Vec<SignalMeta>,
+    /// The raw received IQ buffer, captured only when
+    /// [`Engine::set_capture_iq`] is enabled (it is large).
+    pub iq: Option<Vec<cbma_types::Iq>>,
+}
+
+impl RoundOutcome {
+    /// Whether every active tag was delivered.
+    pub fn all_delivered(&self) -> bool {
+        self.delivered.len() == self.active.len()
+    }
+}
+
+/// The simulation engine for one scenario.
+#[derive(Debug)]
+pub struct Engine {
+    scenario: Scenario,
+    tags: Vec<Tag>,
+    receiver: Receiver,
+    bank: ImpedanceBank,
+    seq: SeedSequence,
+    round: u64,
+    capture_iq: bool,
+}
+
+impl Engine {
+    /// Builds the engine: validates the scenario, assigns code `i` of the
+    /// family to tag `i`, and configures the receiver with the full code
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation and code-family errors.
+    pub fn new(scenario: Scenario) -> Result<Engine> {
+        scenario.validate()?;
+        let family = scenario.family.build()?;
+        let codes = family.codes(scenario.n_tags())?;
+        let seq = SeedSequence::new(scenario.seed);
+        let mut boot_rng = seq.rng("impedance-boot");
+        let tags = scenario
+            .tag_positions
+            .iter()
+            .zip(codes.iter())
+            .enumerate()
+            .map(|(i, (&pos, code))| {
+                let mut tag = Tag::new(i as u32, pos, code.clone());
+                // Tags boot at an arbitrary impedance state — the unequal
+                // backscatter powers this creates are exactly the near-far
+                // condition Algorithm 1 then has to fix (§IV, §V-B).
+                let state = cbma_tag::ImpedanceState::ALL[boot_rng.gen_range(0..4)];
+                tag.set_impedance(state);
+                tag
+            })
+            .collect();
+        let receiver = Receiver::new(codes, scenario.phy, scenario.rx_config);
+        let bank = ImpedanceBank::new(scenario.link.carrier);
+        Ok(Engine {
+            scenario,
+            tags,
+            receiver,
+            bank,
+            seq,
+            round: 0,
+            capture_iq: false,
+        })
+    }
+
+    /// Enables capturing the raw IQ buffer into each [`RoundOutcome`]
+    /// (for waveform inspection; costs memory per round).
+    pub fn set_capture_iq(&mut self, capture: bool) {
+        self.capture_iq = capture;
+    }
+
+    /// The scenario the engine was built from.
+    #[inline]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The tags (ACK statistics, impedance states, positions).
+    #[inline]
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+
+    /// Mutable tag access (the adaptation layer steps impedances and moves
+    /// tags through this).
+    #[inline]
+    pub fn tags_mut(&mut self) -> &mut [Tag] {
+        &mut self.tags
+    }
+
+    /// Rounds executed so far.
+    #[inline]
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    /// The payload tag `i` transmits in round `r` (unique per tag and
+    /// round so aliased decodes cannot masquerade as real deliveries).
+    pub fn payload_for(&self, tag: usize, round: u64) -> Vec<u8> {
+        let mut payload = vec![0u8; self.scenario.payload_len];
+        let mut state = (tag as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ round;
+        for byte in payload.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *byte = (state & 0xFF) as u8;
+        }
+        if !payload.is_empty() {
+            payload[0] = tag as u8; // self-identifying first byte
+        }
+        payload
+    }
+
+    /// Runs one round with every tag active.
+    pub fn run_round(&mut self) -> RoundOutcome {
+        let all: Vec<usize> = (0..self.tags.len()).collect();
+        self.run_round_subset(&all)
+    }
+
+    /// Runs one round with the given subset of tags transmitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn run_round_subset(&mut self, active: &[usize]) -> RoundOutcome {
+        let round = self.round;
+        self.round += 1;
+        let round_seq = self.seq.child(&format!("round-{round}"));
+        let mut chan_rng = round_seq.rng("channel");
+        let mut fault_rng = round_seq.rng("faults");
+
+        // Injected tag deaths: dead tags silently drop out of the round.
+        let active: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| !self.scenario.faults.is_dead(i, round))
+            .collect();
+        let active = active.as_slice();
+
+        let mut signals = Vec::with_capacity(active.len());
+        let mut signal_meta = Vec::with_capacity(active.len());
+        let mut payloads = vec![Vec::new(); self.tags.len()];
+        for &i in active {
+            let payload = self.payload_for(i, round);
+            payloads[i] = payload.clone();
+            let envelope = self.tags[i]
+                .transmit(payload, &self.scenario.phy)
+                .expect("configured payload length is valid");
+
+            // Mean link amplitude: Friis with this tag's |ΔΓ| state,
+            // shadowed by the frozen large-scale environment.
+            let dg = self.bank.delta_gamma(self.tags[i].impedance());
+            let link = self.scenario.link.with_delta_gamma(dg);
+            let mut amplitude = link.received_amplitude(
+                self.scenario.es,
+                self.tags[i].position(),
+                self.scenario.rx,
+            );
+            amplitude *= self
+                .scenario
+                .shadowing
+                .offset_for(self.tags[i].position())
+                .to_amplitude_ratio();
+            amplitude *= self.coupling_penalty(i, active, &mut chan_rng);
+
+            let taps = self.scenario.multipath.realize(&mut chan_rng);
+            let clock = self.scenario.clock_for(i);
+            let delay = clock.frame_delay(&mut chan_rng, envelope.len());
+            // The carrier phase of a static tag is set by its geometry
+            // (path lengths at sub-wavelength precision), so it is frozen
+            // per position like shadowing, with a small per-frame wobble
+            // from oscillator drift and micro-motion.
+            let phase = self.static_phase(self.tags[i].position()) + chan_rng.gen_range(-0.3..0.3);
+            // Δf = 20 MHz subcarrier with ppm-grade tag oscillators: the
+            // residual offset makes inter-tag phases beat over the frame.
+            let beat =
+                clock.subcarrier_beat(&mut chan_rng, 20.0e6, self.scenario.phy.sample_rate.get());
+
+            signal_meta.push(SignalMeta {
+                tag: i,
+                amplitude,
+                fading_power: taps.taps()[0].1.power(),
+                delay_samples: delay,
+                phase,
+            });
+            signals.push(TagSignal {
+                envelope,
+                amplitude,
+                phase,
+                taps,
+                delay_samples: delay,
+                freq_offset_rad_per_sample: beat,
+            });
+        }
+
+        let mixer = Mixer {
+            noise: self.scenario.noise,
+            bandwidth: self.scenario.phy.sample_rate,
+            excitation: self.scenario.excitation,
+            interference: self.scenario.interference,
+            lead_in: 4 * self.scenario.rx_config.energy_window.max(32),
+            tail: 64,
+        };
+        let mut iq = mixer.combine(&mut chan_rng, &signals);
+        if let Some(adc) = self.scenario.adc {
+            adc.quantize(&mut chan_rng, &mut iq);
+        }
+        let report = self.receiver.receive(&iq);
+
+        // Deliveries: the right payload decoded under the right id.
+        let mut delivered = Vec::new();
+        for &(id, frame) in report.frames().iter() {
+            if active.contains(&id) && frame.payload() == payloads[id].as_slice() {
+                delivered.push(id);
+            }
+        }
+        // Bit-error accounting: compare every active tag's decoded bit
+        // stream (valid or not) against what it actually sent.
+        let mut bit_errors = Vec::new();
+        for user in &report.users {
+            let id = user.detection.code_index;
+            if !active.contains(&id) {
+                continue;
+            }
+            if let Some(bits) = &user.bits {
+                let sent = cbma_tag::Frame::new(payloads[id].clone())
+                    .expect("payload length validated")
+                    .to_bits(self.scenario.phy.preamble_bits);
+                if bits.len() == sent.len() {
+                    bit_errors.push((id, sent.hamming_distance(bits), sent.len()));
+                }
+            }
+        }
+        delivered.sort_unstable();
+        // Feed the tags' ACK statistics (only true deliveries ACK, and the
+        // broadcast ACK itself can be lost on the downlink).
+        for &i in &delivered {
+            if !self.scenario.faults.ack_lost(&mut fault_rng) {
+                self.tags[i].record_ack();
+            }
+        }
+        // Mobility: positions evolve between rounds (shadowing and the
+        // frozen carrier phases follow automatically, both being
+        // position-keyed).
+        if let Some(mobility) = self.scenario.mobility {
+            for tag in &mut self.tags {
+                let next = mobility.step(&mut fault_rng, tag.position());
+                tag.set_position(next);
+            }
+        }
+
+        RoundOutcome {
+            active: active.to_vec(),
+            report,
+            delivered,
+            bit_errors,
+            signal_meta,
+            iq: if self.capture_iq { Some(iq) } else { None },
+        }
+    }
+
+    /// Runs `n` all-tags rounds and accumulates statistics.
+    pub fn run_rounds(&mut self, n: usize) -> RunStats {
+        let mut stats = RunStats::new(self.tags.len());
+        for _ in 0..n {
+            let outcome = self.run_round();
+            stats.record(&outcome);
+        }
+        stats
+    }
+
+    /// Mutual-coupling penalty for tag `i`: each active neighbour within
+    /// the coupling radius multiplies the amplitude by a random factor in
+    /// [0.15, 0.7] (§VII-C.1: "the distance between tags can be too small
+    /// (smaller than half of wavelength). Then the interference between
+    /// tags becomes large").
+    fn coupling_penalty<R: Rng + ?Sized>(&self, i: usize, active: &[usize], rng: &mut R) -> f64 {
+        if self.scenario.coupling_radius <= 0.0 {
+            return 1.0;
+        }
+        let mut penalty = 1.0;
+        let pos = self.tags[i].position();
+        for &j in active {
+            if j != i && self.tags[j].position().distance_to(pos) < self.scenario.coupling_radius {
+                penalty *= rng.gen_range(0.05..0.6);
+            }
+        }
+        penalty
+    }
+
+    /// The geometry-frozen carrier phase for a tag at `pos`, derived
+    /// deterministically from the scenario seed and the position
+    /// quantized to millimeters (a millimeter is ~2% of a wavelength at
+    /// 2 GHz, fine enough to treat as static).
+    fn static_phase(&self, pos: Point) -> f64 {
+        let qx = (pos.x * 1000.0).round() as i64;
+        let qy = (pos.y * 1000.0).round() as i64;
+        let mut rng = self
+            .seq
+            .rng_indexed("static-phase", (qx as u64) ^ (qy as u64).rotate_left(32));
+        rand::Rng::gen_range(&mut rng, 0.0..std::f64::consts::TAU)
+    }
+
+    /// Resets every tag's ACK statistics (start of an adaptation round).
+    pub fn reset_tag_stats(&mut self) {
+        for tag in &mut self.tags {
+            tag.reset_stats();
+        }
+    }
+
+    /// Moves a tag (node selection). Re-validating geometry is the
+    /// caller's business; the engine accepts any position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is out of range.
+    pub fn move_tag(&mut self, tag: usize, to: Point) {
+        self.tags[tag].set_position(to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn near_positions(n: usize) -> Vec<Point> {
+        // Spread around the origin between ES and RX, comfortably apart.
+        (0..n)
+            .map(|i| Point::new(-0.3 + 0.2 * i as f64, if i % 2 == 0 { 0.35 } else { -0.35 }))
+            .collect()
+    }
+
+    #[test]
+    fn single_tag_clean_channel_always_delivers() {
+        let mut engine = Engine::new(Scenario::clean(near_positions(1))).unwrap();
+        let stats = engine.run_rounds(10);
+        assert_eq!(stats.fer(), 0.0, "{stats:?}");
+    }
+
+    #[test]
+    fn two_tag_collision_clean_channel_delivers_both() {
+        let mut engine = Engine::new(Scenario::clean(near_positions(2))).unwrap();
+        let outcome = engine.run_round();
+        assert_eq!(outcome.active, vec![0, 1]);
+        assert!(outcome.all_delivered(), "{outcome:?}");
+    }
+
+    #[test]
+    fn five_tag_collision_paper_channel_mostly_delivers() {
+        let mut engine = Engine::new(Scenario::paper_default(near_positions(5))).unwrap();
+        // Uniform full power (the random boot states model the
+        // pre-power-control near-far condition, which is not under test
+        // here).
+        for t in engine.tags_mut() {
+            t.set_impedance(cbma_tag::ImpedanceState::Open);
+        }
+        let stats = engine.run_rounds(12);
+        assert!(stats.fer() < 0.4, "fer = {} too high", stats.fer());
+    }
+
+    #[test]
+    fn rounds_are_deterministic_in_seed() {
+        let run = |seed: u64| {
+            let mut engine =
+                Engine::new(Scenario::paper_default(near_positions(3)).with_seed(seed)).unwrap();
+            (0..5)
+                .map(|_| engine.run_round().delivered)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn subset_rounds_only_involve_active_tags() {
+        let mut engine = Engine::new(Scenario::clean(near_positions(4))).unwrap();
+        let outcome = engine.run_round_subset(&[1, 3]);
+        assert_eq!(outcome.active, vec![1, 3]);
+        assert!(outcome.delivered.iter().all(|&i| i == 1 || i == 3));
+        // ACK bookkeeping only touches active tags.
+        assert_eq!(engine.tags()[0].packets_sent(), 0);
+        assert_eq!(engine.tags()[1].packets_sent(), 1);
+    }
+
+    #[test]
+    fn payloads_are_unique_per_tag_and_round() {
+        let engine = Engine::new(Scenario::clean(near_positions(2))).unwrap();
+        assert_ne!(engine.payload_for(0, 0), engine.payload_for(1, 0));
+        assert_ne!(engine.payload_for(0, 0), engine.payload_for(0, 1));
+        assert_eq!(engine.payload_for(1, 7), engine.payload_for(1, 7));
+        assert_eq!(engine.payload_for(1, 7).len(), 8);
+    }
+
+    #[test]
+    fn ack_statistics_accumulate() {
+        let mut engine = Engine::new(Scenario::clean(near_positions(1))).unwrap();
+        engine.run_rounds(5);
+        assert_eq!(engine.tags()[0].packets_sent(), 5);
+        assert_eq!(engine.tags()[0].acks_received(), 5);
+        engine.reset_tag_stats();
+        assert_eq!(engine.tags()[0].packets_sent(), 0);
+    }
+
+    #[test]
+    fn weak_far_tag_fails_until_near() {
+        // A tag at the far corner of the office under the weakest
+        // impedance state should mostly fail; moved near, it succeeds.
+        let mut scenario = Scenario::paper_default(vec![Point::new(2.0, 3.0)]);
+        scenario.multipath = cbma_channel::MultipathModel::disabled();
+        let mut engine = Engine::new(scenario).unwrap();
+        engine.tags_mut()[0].set_impedance(cbma_tag::ImpedanceState::Inductor2nH);
+        let far = engine.run_rounds(8);
+        engine.move_tag(0, Point::new(0.0, 0.3));
+        engine.tags_mut()[0].set_impedance(cbma_tag::ImpedanceState::Open);
+        let near = engine.run_rounds(8);
+        assert!(
+            near.fer() < far.fer() || far.fer() == 0.0,
+            "near {} vs far {}",
+            near.fer(),
+            far.fer()
+        );
+    }
+
+    #[test]
+    fn dead_tags_stop_transmitting() {
+        let mut scenario = Scenario::clean(near_positions(2));
+        scenario.faults = crate::faults::FaultPlan::none().with_dead_tag(1, 3);
+        let mut engine = Engine::new(scenario).unwrap();
+        engine.run_rounds(6);
+        // Tag 1 transmitted only in rounds 0..3.
+        assert_eq!(engine.tags()[0].packets_sent(), 6);
+        assert_eq!(engine.tags()[1].packets_sent(), 3);
+    }
+
+    #[test]
+    fn lost_acks_hide_deliveries_from_the_tag() {
+        let mut scenario = Scenario::clean(near_positions(1));
+        scenario.faults = crate::faults::FaultPlan::none().with_ack_loss(1.0);
+        let mut engine = Engine::new(scenario).unwrap();
+        let stats = engine.run_rounds(5);
+        // The receiver decoded everything …
+        assert_eq!(stats.total_delivered(), 5);
+        // … but the tag heard none of the ACKs.
+        assert_eq!(engine.tags()[0].acks_received(), 0);
+    }
+
+    #[test]
+    fn mobility_moves_tags_each_round() {
+        let mut scenario = Scenario::clean(near_positions(2));
+        scenario.mobility = Some(crate::faults::MobilityModel::new(
+            0.05,
+            cbma_types::geometry::Rect::office(),
+        ));
+        let mut engine = Engine::new(scenario).unwrap();
+        let before: Vec<Point> = engine.tags().iter().map(|t| t.position()).collect();
+        engine.run_rounds(4);
+        let after: Vec<Point> = engine.tags().iter().map(|t| t.position()).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_ne!(b, a, "tag did not move");
+            assert!(b.distance_to(*a) <= 4.0 * 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn coupled_tags_suffer() {
+        // Two tags 2 cm apart (within λ/2) versus 40 cm apart.
+        let coupled = {
+            let mut e = Engine::new(Scenario::paper_default(vec![
+                Point::new(0.0, 0.30),
+                Point::new(0.02, 0.30),
+            ]))
+            .unwrap();
+            e.run_rounds(40).fer()
+        };
+        let separated = {
+            let mut e = Engine::new(Scenario::paper_default(vec![
+                Point::new(0.0, 0.30),
+                Point::new(0.0, -0.30),
+            ]))
+            .unwrap();
+            e.run_rounds(40).fer()
+        };
+        assert!(
+            coupled > separated,
+            "coupling should hurt: coupled {coupled} vs separated {separated}"
+        );
+    }
+}

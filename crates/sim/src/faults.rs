@@ -1,0 +1,175 @@
+//! Failure injection and tag mobility.
+//!
+//! Real deployments lose tags (battery-free does not mean failure-free)
+//! and lose downlink ACKs; and §VIII-D notes "if the tag is moving, the
+//! starvation problem can be alleviated". [`FaultPlan`] injects tag
+//! deaths and ACK losses into the engine; [`MobilityModel`] applies a
+//! bounded random walk so positions (and with them the position-frozen
+//! shadowing and carrier phases) evolve over rounds.
+
+use rand::Rng;
+
+use cbma_types::geometry::{Point, Rect};
+
+/// Injected failures for a scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Per-tag death round: a tag stops transmitting from that round on.
+    /// Shorter than the tag count means the remaining tags never die.
+    pub dead_from_round: Vec<Option<u64>>,
+    /// Probability that a broadcast ACK fails to reach a tag (the frame
+    /// still counts as delivered at the receiver, but the tag's power-
+    /// control statistics miss the feedback).
+    pub ack_loss_probability: f64,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Marks one tag dead from `round`.
+    pub fn with_dead_tag(mut self, tag: usize, round: u64) -> FaultPlan {
+        if self.dead_from_round.len() <= tag {
+            self.dead_from_round.resize(tag + 1, None);
+        }
+        self.dead_from_round[tag] = Some(round);
+        self
+    }
+
+    /// Sets the ACK loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside [0, 1].
+    pub fn with_ack_loss(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.ack_loss_probability = p;
+        self
+    }
+
+    /// Whether `tag` is dead at `round`.
+    pub fn is_dead(&self, tag: usize, round: u64) -> bool {
+        self.dead_from_round
+            .get(tag)
+            .copied()
+            .flatten()
+            .is_some_and(|from| round >= from)
+    }
+
+    /// Draws whether an ACK to a tag is lost this round.
+    pub fn ack_lost<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.ack_loss_probability > 0.0 && rng.gen::<f64>() < self.ack_loss_probability
+    }
+}
+
+/// A bounded random-walk mobility model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityModel {
+    /// Maximum displacement per round, meters.
+    pub step_m: f64,
+    /// Tags stay inside this area.
+    pub area: Rect,
+}
+
+impl MobilityModel {
+    /// Creates a model with the given per-round step inside `area`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_m` is negative.
+    pub fn new(step_m: f64, area: Rect) -> MobilityModel {
+        assert!(step_m >= 0.0, "step must be non-negative");
+        MobilityModel { step_m, area }
+    }
+
+    /// Moves a position one round forward.
+    pub fn step<R: Rng + ?Sized>(&self, rng: &mut R, from: Point) -> Point {
+        if self.step_m == 0.0 {
+            return from;
+        }
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = rng.gen_range(0.0..=self.step_m);
+        self.area.clamp(Point::new(
+            from.x + r * theta.cos(),
+            from.y + r * theta.sin(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_plan_has_no_faults() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_dead(0, 100));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!plan.ack_lost(&mut rng));
+    }
+
+    #[test]
+    fn dead_tag_dies_at_its_round() {
+        let plan = FaultPlan::none().with_dead_tag(2, 5);
+        assert!(!plan.is_dead(2, 4));
+        assert!(plan.is_dead(2, 5));
+        assert!(plan.is_dead(2, 50));
+        assert!(!plan.is_dead(0, 50));
+        assert!(!plan.is_dead(7, 50), "unlisted tags never die");
+    }
+
+    #[test]
+    fn ack_loss_rate_matches_probability() {
+        let plan = FaultPlan::none().with_ack_loss(0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let losses = (0..20_000).filter(|_| plan.ack_lost(&mut rng)).count();
+        let rate = losses as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        FaultPlan::none().with_ack_loss(1.5);
+    }
+
+    #[test]
+    fn mobility_respects_step_and_area() {
+        let area = Rect::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        let model = MobilityModel::new(0.05, area);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pos = Point::new(0.9, 0.9);
+        for _ in 0..500 {
+            let next = model.step(&mut rng, pos);
+            assert!(pos.distance_to(next) <= 0.05 + 1e-12);
+            assert!(area.contains(next));
+            pos = next;
+        }
+    }
+
+    #[test]
+    fn zero_step_is_static() {
+        let area = Rect::office();
+        let model = MobilityModel::new(0.0, area);
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Point::new(0.3, -0.2);
+        assert_eq!(model.step(&mut rng, p), p);
+    }
+
+    #[test]
+    fn mobility_eventually_explores() {
+        let area = Rect::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        let model = MobilityModel::new(0.1, area);
+        let mut rng = StdRng::seed_from_u64(5);
+        let start = Point::ORIGIN;
+        let mut pos = start;
+        for _ in 0..300 {
+            pos = model.step(&mut rng, pos);
+        }
+        assert!(pos.distance_to(start) > 0.05, "walk went nowhere");
+    }
+}

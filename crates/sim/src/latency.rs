@@ -1,0 +1,170 @@
+//! Delivery-latency and data-freshness statistics.
+//!
+//! FER alone hides *when* a tag's data gets through: a sensor that fails
+//! ten rounds in a row is worse than one failing every other round at the
+//! same FER (the paper's smart-home motivation is fresh sensor readings).
+//! [`LatencyTracker`] records per-tag delivery rounds and reports
+//! inter-delivery gaps — the age-of-information view of the same runs.
+
+use crate::engine::RoundOutcome;
+
+/// Per-tag delivery timing over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyTracker {
+    /// Round indices at which each tag delivered.
+    deliveries: Vec<Vec<u64>>,
+    rounds: u64,
+}
+
+impl LatencyTracker {
+    /// Creates a tracker for `n_tags` tags.
+    pub fn new(n_tags: usize) -> LatencyTracker {
+        LatencyTracker {
+            deliveries: vec![Vec::new(); n_tags],
+            rounds: 0,
+        }
+    }
+
+    /// Records one round.
+    pub fn record(&mut self, outcome: &RoundOutcome) {
+        for &i in &outcome.delivered {
+            self.deliveries[i].push(self.rounds);
+        }
+        self.rounds += 1;
+    }
+
+    /// Rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The round of a tag's first delivery, if any.
+    pub fn first_delivery(&self, tag: usize) -> Option<u64> {
+        self.deliveries[tag].first().copied()
+    }
+
+    /// The largest gap (in rounds) between consecutive deliveries for a
+    /// tag, counting the lead-in before the first delivery and the tail
+    /// after the last one. `None` if the tag never delivered.
+    pub fn worst_gap(&self, tag: usize) -> Option<u64> {
+        let d = &self.deliveries[tag];
+        let first = *d.first()?;
+        let mut worst = first + 1; // rounds waited until the first delivery
+        for w in d.windows(2) {
+            worst = worst.max(w[1] - w[0]);
+        }
+        worst = worst.max(self.rounds - d.last()?);
+        Some(worst)
+    }
+
+    /// Mean rounds between consecutive deliveries for a tag (`None` with
+    /// fewer than two deliveries).
+    pub fn mean_gap(&self, tag: usize) -> Option<f64> {
+        let d = &self.deliveries[tag];
+        if d.len() < 2 {
+            return None;
+        }
+        Some((*d.last()? - *d.first()?) as f64 / (d.len() - 1) as f64)
+    }
+
+    /// Mean age of information over the run for a tag: the time-average
+    /// of "rounds since the last delivery", in rounds. `None` if the tag
+    /// never delivered.
+    pub fn mean_age(&self, tag: usize) -> Option<f64> {
+        let d = &self.deliveries[tag];
+        let first = *d.first()?;
+        // Age ramps 1,2,…,g over a gap of g rounds: sum = g(g+1)/2.
+        let ramp = |g: u64| (g * (g + 1)) as f64 / 2.0;
+        let mut total = ramp(first); // before the first delivery
+        for w in d.windows(2) {
+            total += ramp(w[1] - w[0]);
+        }
+        total += ramp(self.rounds - d.last()?);
+        Some(total / self.rounds.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_rx::RxReport;
+
+    fn outcome(active: Vec<usize>, delivered: Vec<usize>) -> RoundOutcome {
+        RoundOutcome {
+            active,
+            delivered,
+            report: RxReport::default(),
+            bit_errors: Vec::new(),
+            signal_meta: Vec::new(),
+            iq: None,
+        }
+    }
+
+    fn tracked(pattern: &[bool]) -> LatencyTracker {
+        let mut t = LatencyTracker::new(1);
+        for &hit in pattern {
+            t.record(&outcome(vec![0], if hit { vec![0] } else { vec![] }));
+        }
+        t
+    }
+
+    #[test]
+    fn every_round_delivery_has_unit_gaps() {
+        let t = tracked(&[true; 6]);
+        assert_eq!(t.first_delivery(0), Some(0));
+        assert_eq!(t.worst_gap(0), Some(1));
+        assert_eq!(t.mean_gap(0), Some(1.0));
+        // Age alternates 0→1 sampled at end of each round: mean 1·6/6...
+        // each gap of 1 contributes ramp(1)=1 → total 6/6 = 1.
+        assert_eq!(t.mean_age(0), Some(1.0));
+    }
+
+    #[test]
+    fn a_burst_outage_shows_in_worst_gap() {
+        // Delivered in rounds 0 and 5 of 7.
+        let t = tracked(&[true, false, false, false, false, true, false]);
+        assert_eq!(t.worst_gap(0), Some(5));
+        assert_eq!(t.mean_gap(0), Some(5.0));
+    }
+
+    #[test]
+    fn never_delivered_is_none() {
+        let t = tracked(&[false; 4]);
+        assert_eq!(t.first_delivery(0), None);
+        assert_eq!(t.worst_gap(0), None);
+        assert_eq!(t.mean_gap(0), None);
+        assert_eq!(t.mean_age(0), None);
+    }
+
+    #[test]
+    fn late_first_delivery_counts_as_a_gap() {
+        let t = tracked(&[false, false, true, true]);
+        assert_eq!(t.first_delivery(0), Some(2));
+        // Waited 3 rounds for the first delivery; tail gap is 1.
+        assert_eq!(t.worst_gap(0), Some(3));
+    }
+
+    #[test]
+    fn same_fer_different_freshness() {
+        // Two tags at 50% FER: one alternates, one bursts. The
+        // alternating tag is fresher.
+        let alternating = tracked(&[true, false, true, false, true, false, true, false]);
+        let bursty = tracked(&[true, true, true, true, false, false, false, false]);
+        let age_alt = alternating.mean_age(0).unwrap();
+        let age_burst = bursty.mean_age(0).unwrap();
+        assert!(
+            age_alt < age_burst,
+            "alternating age {age_alt} should beat bursty {age_burst}"
+        );
+    }
+
+    #[test]
+    fn multi_tag_tracking() {
+        let mut t = LatencyTracker::new(2);
+        t.record(&outcome(vec![0, 1], vec![0]));
+        t.record(&outcome(vec![0, 1], vec![0, 1]));
+        assert_eq!(t.first_delivery(0), Some(0));
+        assert_eq!(t.first_delivery(1), Some(1));
+        assert_eq!(t.rounds(), 2);
+    }
+}

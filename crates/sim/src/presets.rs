@@ -1,0 +1,121 @@
+//! Named scenario presets.
+//!
+//! The evaluation re-uses a handful of configurations; these constructors
+//! give them names so benches, examples and downstream code agree on what
+//! "the paper's bench" means. Each preset documents which experiment it
+//! backs.
+
+use cbma_types::geometry::Point;
+
+use crate::scenario::Scenario;
+
+/// The §IV benchmark: ES at (−50 cm, 0), RX at (50 cm, 0), two tags on
+/// the symmetry axis at ±40 cm — exactly equal link budgets. Used as the
+/// balanced end of the Table II sweep.
+pub fn two_tag_bench() -> Scenario {
+    Scenario::paper_default(vec![Point::new(0.0, 0.40), Point::new(0.0, -0.40)])
+}
+
+/// Tag positions mirrored across both axes so every link shares the same
+/// d₁²·d₂² product (within ~3 dB): the geometry where concurrent decoding
+/// is cleanest. Feeds the Fig. 8/9 sweeps and the 10-tag headline.
+///
+/// # Panics
+///
+/// Panics if `n > 10` (ten mirrored positions are defined).
+pub fn balanced_tags(n: usize) -> Vec<Point> {
+    let full = [
+        Point::new(0.15, 0.45),
+        Point::new(-0.15, 0.45),
+        Point::new(0.15, -0.45),
+        Point::new(-0.15, -0.45),
+        Point::new(0.35, 0.5),
+        Point::new(-0.35, 0.5),
+        Point::new(0.35, -0.5),
+        Point::new(-0.35, -0.5),
+        Point::new(0.0, 0.62),
+        Point::new(0.0, -0.62),
+    ];
+    assert!(
+        n <= full.len(),
+        "only {} balanced positions defined",
+        full.len()
+    );
+    full[..n].to_vec()
+}
+
+/// A balanced n-tag scenario (see [`balanced_tags`]).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or > 10.
+pub fn balanced_scenario(n: usize) -> Scenario {
+    Scenario::paper_default(balanced_tags(n))
+}
+
+/// The paper's 10-tag headline configuration: balanced geometry at the
+/// default 1 Mbps symbol rate (§III-A's 1 µs symbols).
+pub fn headline_ten_tags() -> Scenario {
+    balanced_scenario(10)
+}
+
+/// A deliberately near-far pair: one tag close to the ES–RX axis, one
+/// ~9 dB weaker. The configuration the power-control and SIC stories are
+/// told on.
+pub fn near_far_pair() -> Scenario {
+    let mut s = Scenario::paper_default(vec![Point::new(0.0, 0.35), Point::new(0.4, 0.85)]);
+    s.shadowing = cbma_channel::ShadowingModel::disabled();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_channel::BackscatterLink;
+
+    #[test]
+    fn presets_validate() {
+        two_tag_bench().validate().unwrap();
+        balanced_scenario(5).validate().unwrap();
+        headline_ten_tags().validate().unwrap();
+        near_far_pair().validate().unwrap();
+    }
+
+    #[test]
+    fn two_tag_bench_is_exactly_balanced() {
+        let s = two_tag_bench();
+        let link = BackscatterLink::paper_default();
+        let p0 = link.received_power(s.es, s.tag_positions[0], s.rx).get();
+        let p1 = link.received_power(s.es, s.tag_positions[1], s.rx).get();
+        assert!((p0 - p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_tags_share_link_products_within_2db() {
+        let s = balanced_scenario(10);
+        let link = BackscatterLink::paper_default();
+        let powers: Vec<f64> = s
+            .tag_positions
+            .iter()
+            .map(|&p| link.received_power(s.es, p, s.rx).get())
+            .collect();
+        let max = powers.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = powers.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max - min < 3.5, "spread {} dB", max - min);
+    }
+
+    #[test]
+    fn near_far_pair_is_meaningfully_imbalanced() {
+        let s = near_far_pair();
+        let link = BackscatterLink::paper_default();
+        let p0 = link.received_power(s.es, s.tag_positions[0], s.rx).get();
+        let p1 = link.received_power(s.es, s.tag_positions[1], s.rx).get();
+        assert!((p0 - p1).abs() > 6.0, "only {} dB apart", (p0 - p1).abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "balanced positions")]
+    fn too_many_balanced_tags_panics() {
+        balanced_tags(11);
+    }
+}

@@ -1,0 +1,95 @@
+//! Parallel parameter sweeps.
+//!
+//! Every figure in the evaluation is a sweep (distance, power, preamble
+//! length, bitrate, tag count, delay, …) of independent simulation runs.
+//! [`parallel_sweep`] fans the points out over scoped worker threads
+//! (crossbeam) and returns results in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `params` in parallel, preserving order.
+///
+/// `f` must be deterministic per parameter (seed your RNGs from the
+/// parameter) so the sweep is reproducible regardless of scheduling.
+pub fn parallel_sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let n = params.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return params.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&params[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_order() {
+        let params: Vec<u64> = (0..64).collect();
+        let out = parallel_sweep(&params, |&p| p * p);
+        assert_eq!(out, params.iter().map(|p| p * p).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let out: Vec<u32> = parallel_sweep(&Vec::<u32>::new(), |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_param() {
+        assert_eq!(parallel_sweep(&[5u32], |&p| p + 1), vec![6]);
+    }
+
+    #[test]
+    fn heavier_work_still_ordered() {
+        let params: Vec<usize> = (0..32).collect();
+        let out = parallel_sweep(&params, |&p| {
+            // Unequal work per item to shuffle completion order.
+            let mut acc = 0u64;
+            for i in 0..(p * 1000) {
+                acc = acc.wrapping_add(i as u64);
+            }
+            (p, acc)
+        });
+        for (i, (p, _)) in out.iter().enumerate() {
+            assert_eq!(i, *p);
+        }
+    }
+}

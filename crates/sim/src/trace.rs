@@ -1,0 +1,235 @@
+//! Round-trace record and replay.
+//!
+//! §VIII-C: "even in our emulation tests, we still utilize the real trace
+//! data delivered by the real field deployment tests". Our substitute is a
+//! first-class trace facility: every round's active set, delivered set and
+//! detection outcome can be recorded, serialized to a simple line-oriented
+//! text format, and replayed to verify that a simulation is bit-for-bit
+//! reproducible (or to feed recorded delivery patterns into higher-level
+//! analyses without re-running the PHY).
+
+use cbma_types::{CbmaError, Result};
+
+use crate::engine::RoundOutcome;
+
+/// One recorded round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Round index.
+    pub round: u64,
+    /// Tags that transmitted.
+    pub active: Vec<usize>,
+    /// Tags whose frames were delivered.
+    pub delivered: Vec<usize>,
+    /// Whether the receiver detected a frame at all.
+    pub frame_detected: bool,
+}
+
+impl RoundRecord {
+    /// Captures an engine outcome.
+    pub fn from_outcome(round: u64, outcome: &RoundOutcome) -> RoundRecord {
+        RoundRecord {
+            round,
+            active: outcome.active.clone(),
+            delivered: outcome.delivered.clone(),
+            frame_detected: outcome.report.frame_detected,
+        }
+    }
+}
+
+/// A recorded run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    records: Vec<RoundRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// Records an outcome with the next round index.
+    pub fn record(&mut self, outcome: &RoundOutcome) {
+        let round = self.records.len() as u64;
+        self.push(RoundRecord::from_outcome(round, outcome));
+    }
+
+    /// The recorded rounds.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of rounds recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Overall FER implied by the trace.
+    pub fn fer(&self) -> f64 {
+        let sent: usize = self.records.iter().map(|r| r.active.len()).sum();
+        if sent == 0 {
+            return 0.0;
+        }
+        let delivered: usize = self.records.iter().map(|r| r.delivered.len()).sum();
+        1.0 - delivered as f64 / sent as f64
+    }
+
+    /// Serializes to the line format
+    /// `round|detected|active,…|delivered,…`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let active = r
+                .active
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let delivered = r
+                .delivered
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{}|{}|{}|{}\n",
+                r.round,
+                u8::from(r.frame_detected),
+                active,
+                delivered
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`to_text`](Trace::to_text) format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::MalformedFrame`] describing the offending line
+    /// when the text is not valid trace format.
+    pub fn from_text(text: &str) -> Result<Trace> {
+        let mut records = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('|').collect();
+            if parts.len() != 4 {
+                return Err(CbmaError::MalformedFrame(format!(
+                    "trace line {} has {} fields, expected 4",
+                    lineno + 1,
+                    parts.len()
+                )));
+            }
+            let parse_list = |s: &str| -> Result<Vec<usize>> {
+                if s.is_empty() {
+                    return Ok(Vec::new());
+                }
+                s.split(',')
+                    .map(|t| {
+                        t.parse::<usize>().map_err(|_| {
+                            CbmaError::MalformedFrame(format!(
+                                "trace line {}: bad index {t:?}",
+                                lineno + 1
+                            ))
+                        })
+                    })
+                    .collect()
+            };
+            let round = parts[0].parse::<u64>().map_err(|_| {
+                CbmaError::MalformedFrame(format!("trace line {}: bad round", lineno + 1))
+            })?;
+            let frame_detected = match parts[1] {
+                "0" => false,
+                "1" => true,
+                other => {
+                    return Err(CbmaError::MalformedFrame(format!(
+                        "trace line {}: bad detected flag {other:?}",
+                        lineno + 1
+                    )))
+                }
+            };
+            records.push(RoundRecord {
+                round,
+                frame_detected,
+                active: parse_list(parts[2])?,
+                delivered: parse_list(parts[3])?,
+            });
+        }
+        Ok(Trace { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_rx::RxReport;
+
+    fn outcome(active: Vec<usize>, delivered: Vec<usize>, detected: bool) -> RoundOutcome {
+        let mut report = RxReport::default();
+        report.frame_detected = detected;
+        RoundOutcome {
+            active,
+            delivered,
+            report,
+            bit_errors: Vec::new(),
+            signal_meta: Vec::new(),
+            iq: None,
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut trace = Trace::new();
+        trace.record(&outcome(vec![0, 1, 2], vec![0, 2], true));
+        trace.record(&outcome(vec![0, 1], vec![], false));
+        trace.record(&outcome(vec![], vec![], false));
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn fer_from_trace() {
+        let mut trace = Trace::new();
+        trace.record(&outcome(vec![0, 1], vec![0], true));
+        trace.record(&outcome(vec![0, 1], vec![0, 1], true));
+        assert!((trace.fer() - 0.25).abs() < 1e-12);
+        assert_eq!(Trace::new().fer(), 0.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Trace::from_text("1|1|0").is_err()); // 3 fields
+        assert!(Trace::from_text("x|1||").is_err()); // bad round
+        assert!(Trace::from_text("1|2||").is_err()); // bad flag
+        assert!(Trace::from_text("1|1|a,b|").is_err()); // bad index
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let trace = Trace::from_text("\n0|1|0|0\n\n").unwrap();
+        assert_eq!(trace.len(), 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn records_accessor() {
+        let mut trace = Trace::new();
+        trace.record(&outcome(vec![3], vec![3], true));
+        assert_eq!(trace.records()[0].active, vec![3]);
+        assert_eq!(trace.records()[0].round, 0);
+    }
+}

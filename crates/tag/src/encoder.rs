@@ -1,0 +1,110 @@
+//! PN spreading encoder.
+//!
+//! "The structured frame is then processed by the encoding block using a PN
+//! code … The data is then multiplied by the PN code" (§III-A). With
+//! complement signalling (footnote 2), multiplying bit b by the code is the
+//! XOR of the inverted bit with each chip: a `1` sends the code word, a `0`
+//! sends its complement — reproducing the paper's worked example where
+//! data "10" spread by "01001" yields "0100110110".
+
+use cbma_codes::PnCode;
+use cbma_types::Bits;
+
+/// Spreads `data` with `code`: each data bit becomes one code word
+/// (`code.len()` chips). Output length is `data.len() × code.len()`.
+pub fn spread(data: &Bits, code: &PnCode) -> Bits {
+    let mut out = Bits::with_capacity(data.len() * code.len());
+    for bit in data.iter() {
+        if bit == 1 {
+            out.extend_bits(code.bits());
+        } else {
+            out.extend_bits(&code.bits().complement());
+        }
+    }
+    out
+}
+
+/// Ideal (noise-free, chip-aligned) despreading: recovers the data bits by
+/// majority agreement of each chip window with the code word. Used in
+/// loopback tests; the real receiver decodes by correlation on IQ samples
+/// in `cbma-rx`.
+///
+/// # Panics
+///
+/// Panics if `chips` is not a whole number of code words.
+pub fn despread_exact(chips: &Bits, code: &PnCode) -> Bits {
+    assert_eq!(
+        chips.len() % code.len(),
+        0,
+        "chip stream must be a whole number of code words"
+    );
+    let n = code.len();
+    let mut out = Bits::with_capacity(chips.len() / n);
+    for word in 0..chips.len() / n {
+        let window: Bits = (word * n..(word + 1) * n).map(|i| chips[i]).collect();
+        let agree_one = n - window.hamming_distance(code.bits());
+        out.push(if agree_one * 2 >= n { 1 } else { 0 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_codes::{CodeFamily, GoldFamily, TwoNcFamily};
+
+    #[test]
+    fn paper_worked_example() {
+        // §III-A: "10" with code "01001" → "0100110110".
+        let code = PnCode::new(0, Bits::from_str("01001").unwrap());
+        let spread_bits = spread(&Bits::from_str("10").unwrap(), &code);
+        assert_eq!(spread_bits.to_string(), "0100110110");
+    }
+
+    #[test]
+    fn spread_despread_round_trip_gold() {
+        let family = GoldFamily::new(5).unwrap();
+        let code = family.code(3).unwrap();
+        let data = Bits::from_str("1011001110001011").unwrap();
+        let chips = spread(&data, &code);
+        assert_eq!(chips.len(), data.len() * 31);
+        assert_eq!(despread_exact(&chips, &code), data);
+    }
+
+    #[test]
+    fn spread_despread_round_trip_twonc() {
+        let family = TwoNcFamily::new(10).unwrap();
+        let code = family.code(7).unwrap();
+        let data = Bits::from_str("010011").unwrap();
+        assert_eq!(despread_exact(&spread(&data, &code), &code), data);
+    }
+
+    #[test]
+    fn despread_survives_minority_chip_errors() {
+        let family = GoldFamily::new(5).unwrap();
+        let code = family.code(1).unwrap();
+        let data = Bits::from_str("10").unwrap();
+        let chips = spread(&data, &code);
+        // Flip 10 of 31 chips in the first word: still a majority match.
+        let mut raw: Vec<u8> = chips.iter().collect();
+        for chip in raw.iter_mut().take(10) {
+            *chip ^= 1;
+        }
+        let damaged = Bits::from_slice(&raw).unwrap();
+        assert_eq!(despread_exact(&damaged, &code), data);
+    }
+
+    #[test]
+    fn empty_data_spreads_to_empty() {
+        let code = PnCode::new(0, Bits::from_str("0101").unwrap());
+        assert!(spread(&Bits::new(), &code).is_empty());
+        assert!(despread_exact(&Bits::new(), &code).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_chip_stream_panics() {
+        let code = PnCode::new(0, Bits::from_str("0101").unwrap());
+        despread_exact(&Bits::from_str("010").unwrap(), &code);
+    }
+}

@@ -1,0 +1,248 @@
+//! The antenna impedance bank — the paper's power-control actuator.
+//!
+//! §VI: the tag's HMC190B SPDT switch selects among "a 3 pF capacitor, a
+//! 1 pF capacitor, open impedance, and a 2 nH inductor". Backscatter
+//! modulation toggles the antenna between a short-circuit reference state
+//! and the selected load; the modulation depth is the reflection-
+//! coefficient difference
+//!
+//! ```text
+//! |ΔΓ| = |Γ_ref − Γ_load|,   Γ = (Z_L − Z₀) / (Z_L + Z₀)
+//! ```
+//!
+//! Pure reactances all reflect with |Γ| = 1 but at different *phases*, so
+//! the four loads yield four distinct |ΔΓ| values — four backscatter power
+//! levels the control loop of Algorithm 1 steps through. This module
+//! computes them from the actual component values at the 2 GHz carrier.
+
+use std::f64::consts::TAU;
+
+use serde::{Deserialize, Serialize};
+
+use cbma_types::units::{Db, Hertz};
+use cbma_types::Iq;
+
+/// Antenna reference impedance (Ω).
+pub const Z0: f64 = 50.0;
+
+/// The four selectable antenna loads (§VI), ordered as the power-control
+/// algorithm cycles them (Z = 1..=4 in Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImpedanceState {
+    /// 2 nH series inductor — the weakest backscatter level.
+    Inductor2nH,
+    /// 3 pF capacitor.
+    Cap3pF,
+    /// 1 pF capacitor.
+    Cap1pF,
+    /// Open circuit — the strongest backscatter level.
+    Open,
+}
+
+impl ImpedanceState {
+    /// All states in increasing-|ΔΓ| (increasing power) order.
+    pub const ALL: [ImpedanceState; 4] = [
+        ImpedanceState::Inductor2nH,
+        ImpedanceState::Cap3pF,
+        ImpedanceState::Cap1pF,
+        ImpedanceState::Open,
+    ];
+
+    /// Algorithm 1's integer encoding Z ∈ 1..=4.
+    pub fn index(self) -> usize {
+        match self {
+            ImpedanceState::Inductor2nH => 1,
+            ImpedanceState::Cap3pF => 2,
+            ImpedanceState::Cap1pF => 3,
+            ImpedanceState::Open => 4,
+        }
+    }
+
+    /// The state for Algorithm 1's integer encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not in 1..=4.
+    pub fn from_index(index: usize) -> ImpedanceState {
+        match index {
+            1 => ImpedanceState::Inductor2nH,
+            2 => ImpedanceState::Cap3pF,
+            3 => ImpedanceState::Cap1pF,
+            4 => ImpedanceState::Open,
+            other => panic!("impedance index must be 1..=4, got {other}"),
+        }
+    }
+
+    /// The next state in Algorithm 1's cyclic order (wraps 4 → 1, the
+    /// `if Z == Z_max { Z ← 1 } else { Z ← Z + 1 }` step).
+    pub fn next_cyclic(self) -> ImpedanceState {
+        let next = self.index() % 4 + 1;
+        ImpedanceState::from_index(next)
+    }
+
+    /// The load impedance at carrier frequency `f` as a complex value
+    /// (`None` for the open circuit, whose Γ is exactly +1).
+    pub fn load_impedance(self, f: Hertz) -> Option<Iq> {
+        let omega = TAU * f.get();
+        match self {
+            ImpedanceState::Cap3pF => Some(Iq::new(0.0, -1.0 / (omega * 3.0e-12))),
+            ImpedanceState::Cap1pF => Some(Iq::new(0.0, -1.0 / (omega * 1.0e-12))),
+            ImpedanceState::Open => None,
+            ImpedanceState::Inductor2nH => Some(Iq::new(0.0, omega * 2.0e-9)),
+        }
+    }
+}
+
+/// Reflection coefficient Γ = (Z_L − Z₀)/(Z_L + Z₀) for a complex load.
+pub fn reflection_coefficient(z_load: Iq) -> Iq {
+    (z_load - Iq::new(Z0, 0.0)) / (z_load + Iq::new(Z0, 0.0))
+}
+
+/// The tag's impedance bank evaluated at a carrier frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImpedanceBank {
+    carrier: Hertz,
+}
+
+impl ImpedanceBank {
+    /// Creates the bank for the given carrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for non-positive carriers.
+    pub fn new(carrier: Hertz) -> ImpedanceBank {
+        debug_assert!(carrier.get() > 0.0, "carrier must be positive");
+        ImpedanceBank { carrier }
+    }
+
+    /// The paper's 2 GHz carrier (§VI).
+    pub fn paper_default() -> ImpedanceBank {
+        ImpedanceBank::new(Hertz::from_ghz(2.0))
+    }
+
+    /// Γ of the given state.
+    pub fn gamma(&self, state: ImpedanceState) -> Iq {
+        match state.load_impedance(self.carrier) {
+            Some(z) => reflection_coefficient(z),
+            None => Iq::ONE, // open circuit
+        }
+    }
+
+    /// |ΔΓ| of the given state versus the short-circuit reference
+    /// (Γ_ref = −1). In [0, 2].
+    pub fn delta_gamma(&self, state: ImpedanceState) -> f64 {
+        (self.gamma(state) - Iq::new(-1.0, 0.0)).abs()
+    }
+
+    /// Backscatter power of `state` relative to the strongest state.
+    pub fn relative_power(&self, state: ImpedanceState) -> Db {
+        let strongest = ImpedanceState::ALL
+            .iter()
+            .map(|s| self.delta_gamma(*s))
+            .fold(0.0f64, f64::max);
+        Db::from_amplitude_ratio(self.delta_gamma(state) / strongest)
+    }
+}
+
+impl Default for ImpedanceBank {
+    fn default() -> ImpedanceBank {
+        ImpedanceBank::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reactive_loads_reflect_fully() {
+        let bank = ImpedanceBank::paper_default();
+        for state in ImpedanceState::ALL {
+            let g = bank.gamma(state);
+            assert!(
+                (g.abs() - 1.0).abs() < 1e-12,
+                "{state:?}: |Γ| = {} should be 1 for a lossless load",
+                g.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn matched_load_does_not_reflect() {
+        assert!(reflection_coefficient(Iq::new(Z0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_gamma_values_at_2ghz() {
+        // Hand-computed from the component values (see module docs):
+        // 2 nH → 0.90, 3 pF → 0.94, 1 pF → 1.69, open → 2.0.
+        let bank = ImpedanceBank::paper_default();
+        let dg = |s| bank.delta_gamma(s);
+        assert!((dg(ImpedanceState::Inductor2nH) - 0.899).abs() < 0.01);
+        assert!((dg(ImpedanceState::Cap3pF) - 0.937).abs() < 0.01);
+        assert!((dg(ImpedanceState::Cap1pF) - 1.693).abs() < 0.01);
+        assert!((dg(ImpedanceState::Open) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn states_are_power_ordered() {
+        let bank = ImpedanceBank::paper_default();
+        let mut last = 0.0;
+        for state in ImpedanceState::ALL {
+            let dg = bank.delta_gamma(state);
+            assert!(dg > last, "{state:?} breaks the power ordering");
+            last = dg;
+        }
+    }
+
+    #[test]
+    fn relative_power_spans_about_7db() {
+        let bank = ImpedanceBank::paper_default();
+        assert_eq!(bank.relative_power(ImpedanceState::Open), Db::ZERO);
+        let weakest = bank.relative_power(ImpedanceState::Inductor2nH).get();
+        assert!((-8.0..=-6.0).contains(&weakest), "span = {weakest} dB");
+    }
+
+    #[test]
+    fn cyclic_stepping_matches_algorithm_1() {
+        // Z=Z_max wraps to 1; otherwise Z+1.
+        assert_eq!(
+            ImpedanceState::Inductor2nH.next_cyclic(),
+            ImpedanceState::Cap3pF
+        );
+        assert_eq!(ImpedanceState::Cap3pF.next_cyclic(), ImpedanceState::Cap1pF);
+        assert_eq!(ImpedanceState::Cap1pF.next_cyclic(), ImpedanceState::Open);
+        assert_eq!(
+            ImpedanceState::Open.next_cyclic(),
+            ImpedanceState::Inductor2nH
+        );
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for state in ImpedanceState::ALL {
+            assert_eq!(ImpedanceState::from_index(state.index()), state);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn bad_index_panics() {
+        ImpedanceState::from_index(0);
+    }
+
+    #[test]
+    fn capacitor_impedances_at_2ghz() {
+        // |Z| of 3 pF at 2 GHz ≈ 26.5 Ω; 1 pF ≈ 79.6 Ω; 2 nH ≈ 25.1 Ω.
+        let f = Hertz::from_ghz(2.0);
+        let z3 = ImpedanceState::Cap3pF.load_impedance(f).unwrap();
+        assert!((z3.abs() - 26.53).abs() < 0.1);
+        assert!(z3.im < 0.0);
+        let z1 = ImpedanceState::Cap1pF.load_impedance(f).unwrap();
+        assert!((z1.abs() - 79.58).abs() < 0.1);
+        let zl = ImpedanceState::Inductor2nH.load_impedance(f).unwrap();
+        assert!((zl.abs() - 25.13).abs() < 0.1);
+        assert!(zl.im > 0.0);
+        assert!(ImpedanceState::Open.load_impedance(f).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! On/Off-keying chip modulation.
+//!
+//! §V-A: to transmit a coded `1` the tag enables the Δf square wave for
+//! one symbol period (the antenna toggles → energy appears at f_c ± Δf);
+//! for a `0` it "keeps silent and does nothing". After the receiver tunes
+//! to f_c − Δf, the complex-baseband image of that behaviour is simply an
+//! envelope that is 1 during reflecting chips and 0 during absorbing ones
+//! (the square wave's first-harmonic factor 4/π is folded into the link's
+//! α, see DESIGN.md). This module produces that envelope at the receiver
+//! sample rate.
+
+use cbma_dsp::resample::upsample_repeat;
+use cbma_types::Bits;
+
+/// Expands a chip sequence to its OOK envelope: chip `1` → `samples_per_chip`
+/// ones, chip `0` → zeros.
+///
+/// # Panics
+///
+/// Panics if `samples_per_chip` is zero.
+pub fn ook_envelope(chips: &Bits, samples_per_chip: usize) -> Vec<f64> {
+    assert!(samples_per_chip > 0, "need at least one sample per chip");
+    let per_chip: Vec<f64> = chips.iter().map(f64::from).collect();
+    upsample_repeat(&per_chip, samples_per_chip)
+}
+
+/// Fraction of time the tag reflects (its RF duty cycle) for a chip
+/// sequence — relevant to tag energy budgeting.
+pub fn reflect_duty(chips: &Bits) -> f64 {
+    if chips.is_empty() {
+        return 0.0;
+    }
+    chips.count_ones() as f64 / chips.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_expands_chips() {
+        let chips = Bits::from_str("101").unwrap();
+        let env = ook_envelope(&chips, 3);
+        assert_eq!(env, vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn single_sample_per_chip() {
+        let chips = Bits::from_str("0110").unwrap();
+        assert_eq!(ook_envelope(&chips, 1), vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_chips_yield_empty_envelope() {
+        assert!(ook_envelope(&Bits::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn envelope_is_binary() {
+        let chips = Bits::from_str("1001101").unwrap();
+        assert!(ook_envelope(&chips, 5)
+            .iter()
+            .all(|&s| s == 0.0 || s == 1.0));
+    }
+
+    #[test]
+    fn duty_cycle() {
+        assert_eq!(reflect_duty(&Bits::from_str("1010").unwrap()), 0.5);
+        assert_eq!(reflect_duty(&Bits::from_str("1111").unwrap()), 1.0);
+        assert_eq!(reflect_duty(&Bits::new()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_oversampling_panics() {
+        ook_envelope(&Bits::from_str("1").unwrap(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Complex baseband (I/Q) arithmetic.
+//!
+//! Everything the receiver sees is a stream of in-phase/quadrature sample
+//! pairs (§V-B: "We receive the backscatter signal in I-Q space: I(t) and
+//! Q(t)"). [`Iq`] is a minimal complex number tailored to that use: double
+//! precision, `Copy`, with the handful of operations DSP code needs (polar
+//! construction, conjugation, magnitude, power).
+//!
+//! # Examples
+//!
+//! ```
+//! use cbma_types::Iq;
+//!
+//! let s = Iq::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+//! assert!((s.re).abs() < 1e-12);
+//! assert!((s.im - 2.0).abs() < 1e-12);
+//! assert!((s.power() - 4.0).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex baseband sample with in-phase (`re`) and quadrature (`im`)
+/// components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Iq {
+    /// In-phase component.
+    pub re: f64,
+    /// Quadrature component.
+    pub im: f64,
+}
+
+impl Iq {
+    /// The additive identity.
+    pub const ZERO: Iq = Iq { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Iq = Iq { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Iq = Iq { re: 0.0, im: 1.0 };
+
+    /// Creates a sample from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Iq {
+        Iq { re, im }
+    }
+
+    /// Creates a sample from polar form `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(magnitude: f64, phase: f64) -> Iq {
+        Iq {
+            re: magnitude * phase.cos(),
+            im: magnitude * phase.sin(),
+        }
+    }
+
+    /// `e^{jθ}` — a unit phasor at the given phase.
+    #[inline]
+    pub fn phasor(phase: f64) -> Iq {
+        Iq::from_polar(1.0, phase)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Iq {
+        Iq::new(self.re, -self.im)
+    }
+
+    /// Magnitude |z| = √(I² + Q²) — the paper's P(t) definition (§V-B).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Instantaneous power |z|² = I² + Q².
+    #[inline]
+    pub fn power(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in (−π, π].
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Iq {
+        Iq::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Iq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}j", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Iq {
+    fn from(re: f64) -> Iq {
+        Iq::new(re, 0.0)
+    }
+}
+
+impl Add for Iq {
+    type Output = Iq;
+    #[inline]
+    fn add(self, rhs: Iq) -> Iq {
+        Iq::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+impl AddAssign for Iq {
+    #[inline]
+    fn add_assign(&mut self, rhs: Iq) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+impl Sub for Iq {
+    type Output = Iq;
+    #[inline]
+    fn sub(self, rhs: Iq) -> Iq {
+        Iq::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+impl SubAssign for Iq {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Iq) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+impl Mul for Iq {
+    type Output = Iq;
+    #[inline]
+    fn mul(self, rhs: Iq) -> Iq {
+        Iq::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+impl MulAssign for Iq {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Iq) {
+        *self = *self * rhs;
+    }
+}
+impl Mul<f64> for Iq {
+    type Output = Iq;
+    #[inline]
+    fn mul(self, rhs: f64) -> Iq {
+        self.scale(rhs)
+    }
+}
+impl Div<f64> for Iq {
+    type Output = Iq;
+    #[inline]
+    fn div(self, rhs: f64) -> Iq {
+        Iq::new(self.re / rhs, self.im / rhs)
+    }
+}
+impl Div for Iq {
+    type Output = Iq;
+    #[inline]
+    fn div(self, rhs: Iq) -> Iq {
+        let d = rhs.power();
+        Iq::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+impl Neg for Iq {
+    type Output = Iq;
+    #[inline]
+    fn neg(self) -> Iq {
+        Iq::new(-self.re, -self.im)
+    }
+}
+impl Sum for Iq {
+    fn sum<I: Iterator<Item = Iq>>(iter: I) -> Iq {
+        iter.fold(Iq::ZERO, |acc, z| acc + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_4, PI};
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Iq::from_polar(3.0, FRAC_PI_4);
+        assert!((z.abs() - 3.0).abs() < 1e-12);
+        assert!((z.arg() - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication_adds_phases() {
+        let a = Iq::phasor(0.3);
+        let b = Iq::phasor(0.5);
+        let c = a * b;
+        assert!((c.arg() - 0.8).abs() < 1e-12);
+        assert!((c.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_power() {
+        let z = Iq::new(3.0, -4.0);
+        let p = z * z.conj();
+        assert!((p.re - 25.0).abs() < 1e-12);
+        assert!(p.im.abs() < 1e-12);
+        assert!((z.power() - 25.0).abs() < 1e-12);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Iq::new(1.5, -2.5);
+        let b = Iq::new(-0.3, 0.7);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let m = Iq::I * Iq::I;
+        assert!((m - Iq::new(-1.0, 0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sum_of_phasors_cancels() {
+        // e^{j0} + e^{jπ} = 0
+        let s: Iq = [Iq::phasor(0.0), Iq::phasor(PI)].into_iter().sum();
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Iq::new(1.0, 1.0)), "1.000000+1.000000j");
+        assert_eq!(format!("{}", Iq::new(1.0, -1.0)), "1.000000-1.000000j");
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared foundation types for the CBMA workspace.
+//!
+//! This crate defines the small, dependency-free vocabulary used by every
+//! other crate in the reproduction of *CBMA: Coded-Backscatter Multiple
+//! Access* (ICDCS 2019):
+//!
+//! * strongly-typed physical units ([`units`]) so decibels, watts, hertz,
+//!   seconds and meters cannot be confused with one another,
+//! * 2-D geometry for placing the excitation source, tags and receiver in a
+//!   room ([`geometry`]),
+//! * complex baseband arithmetic ([`iq`]),
+//! * unpacked bit vectors used by framing and spreading ([`bits`]),
+//! * deterministic RNG seed derivation so every experiment is reproducible
+//!   ([`rng`]),
+//! * the workspace-wide error type ([`error`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cbma_types::units::{Db, Dbm};
+//! use cbma_types::geometry::Point;
+//!
+//! let tx_power = Dbm::new(20.0);
+//! let path_loss = Db::new(46.0);
+//! let rx_power = tx_power - path_loss;
+//! assert_eq!(rx_power, Dbm::new(-26.0));
+//!
+//! let es = Point::new(-0.5, 0.0);
+//! let rx = Point::new(0.5, 0.0);
+//! assert!((es.distance_to(rx) - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod bits;
+pub mod error;
+pub mod geometry;
+pub mod iq;
+pub mod rng;
+pub mod units;
+
+pub use bits::Bits;
+pub use error::{CbmaError, Result};
+pub use geometry::Point;
+pub use iq::Iq;
+pub use rng::SeedSequence;
+pub use units::{Db, Dbm, Hertz, Meters, Seconds, Watts};

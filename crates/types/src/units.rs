@@ -1,0 +1,485 @@
+//! Strongly-typed physical units.
+//!
+//! The CBMA link budget (paper Eq. 1) mixes absolute powers, power ratios,
+//! frequencies and distances. Each gets its own newtype so the compiler
+//! rejects, e.g., adding a distance to a power. All wrappers are thin
+//! (`repr(transparent)` over `f64`), `Copy`, and implement the arithmetic
+//! that is physically meaningful for the quantity:
+//!
+//! * [`Db`] (a ratio) can be added to and subtracted from [`Db`] and
+//!   [`Dbm`] (an absolute power), but two `Dbm` values cannot be added —
+//!   only subtracted, which yields a `Db` ratio.
+//! * [`Watts`] and [`Dbm`] interconvert exactly through
+//!   `10 * log10(mW)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbma_types::units::{Db, Dbm, Watts};
+//!
+//! let tx = Dbm::new(0.0);                 // 1 mW
+//! assert!((tx.to_watts().get() - 1.0e-3).abs() < 1e-15);
+//! let gain = Db::new(3.0103);
+//! let doubled = tx + gain;
+//! assert!((doubled.to_watts().get() - 2.0e-3).abs() < 1e-7);
+//! assert!(((doubled - tx).get()) - 3.0103 < 1e-9);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit_base {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[repr(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw `f64` value in the unit type.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns `true` when the wrapped value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+    };
+}
+
+unit_base! {
+    /// A power *ratio* in decibels (10·log₁₀ of a linear ratio).
+    Db, "dB"
+}
+unit_base! {
+    /// An absolute power referenced to one milliwatt.
+    Dbm, "dBm"
+}
+unit_base! {
+    /// An absolute power in watts (linear domain).
+    Watts, "W"
+}
+unit_base! {
+    /// A frequency in hertz.
+    Hertz, "Hz"
+}
+unit_base! {
+    /// A duration in seconds.
+    Seconds, "s"
+}
+unit_base! {
+    /// A distance in meters.
+    Meters, "m"
+}
+
+impl Db {
+    /// Zero ratio (0 dB, i.e. linear ×1).
+    pub const ZERO: Db = Db(0.0);
+
+    /// Converts a linear power ratio to decibels.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `ratio` is negative (a power ratio can
+    /// only be non-negative; zero maps to `-inf`).
+    #[inline]
+    pub fn from_ratio(ratio: f64) -> Db {
+        debug_assert!(ratio >= 0.0, "power ratio must be non-negative");
+        Db(10.0 * ratio.log10())
+    }
+
+    /// Converts the decibel value back to a linear power ratio.
+    #[inline]
+    pub fn to_ratio(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts an *amplitude* (voltage) ratio to decibels (20·log₁₀).
+    #[inline]
+    pub fn from_amplitude_ratio(ratio: f64) -> Db {
+        debug_assert!(ratio >= 0.0, "amplitude ratio must be non-negative");
+        Db(20.0 * ratio.log10())
+    }
+
+    /// Converts the decibel value to a linear amplitude ratio.
+    #[inline]
+    pub fn to_amplitude_ratio(self) -> f64 {
+        10f64.powf(self.0 / 20.0)
+    }
+}
+
+impl Dbm {
+    /// Converts an absolute power in watts to dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `power` is negative.
+    #[inline]
+    pub fn from_watts(power: Watts) -> Dbm {
+        debug_assert!(power.get() >= 0.0, "power must be non-negative");
+        Dbm(10.0 * (power.get() * 1e3).log10())
+    }
+
+    /// Converts to the linear watt domain.
+    #[inline]
+    pub fn to_watts(self) -> Watts {
+        Watts(10f64.powf(self.0 / 10.0) * 1e-3)
+    }
+
+    /// Converts to milliwatts.
+    #[inline]
+    pub fn to_milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl Watts {
+    /// Converts to dBm. Convenience alias for [`Dbm::from_watts`].
+    #[inline]
+    pub fn to_dbm(self) -> Dbm {
+        Dbm::from_watts(self)
+    }
+}
+
+impl Hertz {
+    /// Speed of light in vacuum (m/s), used for wavelength conversion.
+    pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+    /// Constructs a frequency expressed in megahertz.
+    #[inline]
+    pub const fn from_mhz(mhz: f64) -> Hertz {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Constructs a frequency expressed in gigahertz.
+    #[inline]
+    pub const fn from_ghz(ghz: f64) -> Hertz {
+        Hertz(ghz * 1e9)
+    }
+
+    /// Free-space wavelength λ = c / f.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the frequency is not strictly positive.
+    #[inline]
+    pub fn wavelength(self) -> Meters {
+        debug_assert!(self.0 > 0.0, "frequency must be positive");
+        Meters(Self::SPEED_OF_LIGHT / self.0)
+    }
+
+    /// The period 1/f of one cycle.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        debug_assert!(self.0 > 0.0, "frequency must be positive");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Seconds {
+    /// Constructs a duration expressed in microseconds.
+    #[inline]
+    pub const fn from_micros(us: f64) -> Seconds {
+        Seconds(us * 1e-6)
+    }
+
+    /// Returns the duration in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Meters {
+    /// Constructs a distance expressed in centimeters.
+    #[inline]
+    pub const fn from_cm(cm: f64) -> Meters {
+        Meters(cm / 100.0)
+    }
+
+    /// Returns the distance in centimeters.
+    #[inline]
+    pub fn as_cm(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+// ---- arithmetic that is physically meaningful -----------------------------
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+impl SubAssign for Db {
+    fn sub_assign(&mut self, rhs: Db) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<f64> for Db {
+    type Output = Db;
+    fn mul(self, rhs: f64) -> Db {
+        Db(self.0 * rhs)
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+/// Subtracting two absolute powers yields a ratio.
+impl Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+impl Div<Watts> for Watts {
+    type Output = f64;
+    fn div(self, rhs: Watts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+impl Sub for Meters {
+    type Output = Meters;
+    fn sub(self, rhs: Meters) -> Meters {
+        Meters(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    fn mul(self, rhs: f64) -> Meters {
+        Meters(self.0 * rhs)
+    }
+}
+impl Div<Meters> for Meters {
+    type Output = f64;
+    fn div(self, rhs: Meters) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Mul<f64> for Hertz {
+    type Output = Hertz;
+    fn mul(self, rhs: f64) -> Hertz {
+        Hertz(self.0 * rhs)
+    }
+}
+impl Div<Hertz> for Hertz {
+    type Output = f64;
+    fn div(self, rhs: Hertz) -> f64 {
+        self.0 / rhs.0
+    }
+}
+impl Add for Hertz {
+    type Output = Hertz;
+    fn add(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 + rhs.0)
+    }
+}
+impl Sub for Hertz {
+    type Output = Hertz;
+    fn sub(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_watts_round_trip() {
+        for dbm in [-90.0, -30.0, 0.0, 10.0, 20.0, 36.0] {
+            let p = Dbm::new(dbm);
+            let back = p.to_watts().to_dbm();
+            assert!((back.get() - dbm).abs() < 1e-9, "{dbm} -> {back}");
+        }
+    }
+
+    #[test]
+    fn db_ratio_round_trip() {
+        for db in [-40.0, -3.0, 0.0, 3.0, 10.0, 30.0] {
+            let r = Db::new(db).to_ratio();
+            let back = Db::from_ratio(r);
+            assert!((back.get() - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn db_amplitude_vs_power() {
+        // A ×2 amplitude ratio is a ×4 power ratio: 6.02 dB either way.
+        let from_amp = Db::from_amplitude_ratio(2.0);
+        let from_pow = Db::from_ratio(4.0);
+        assert!((from_amp.get() - from_pow.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbm_plus_db_is_dbm() {
+        let p = Dbm::new(-10.0) + Db::new(13.0);
+        assert_eq!(p, Dbm::new(3.0));
+        let diff: Db = Dbm::new(3.0) - Dbm::new(-10.0);
+        assert_eq!(diff, Db::new(13.0));
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!((Dbm::new(0.0).to_milliwatts() - 1.0).abs() < 1e-12);
+        assert!((Dbm::new(30.0).to_watts().get() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavelength_at_2ghz() {
+        let lambda = Hertz::from_ghz(2.0).wavelength();
+        assert!((lambda.get() - 0.149896229).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seconds_micros_round_trip() {
+        let s = Seconds::from_micros(1.0);
+        assert!((s.get() - 1e-6).abs() < 1e-18);
+        assert!((s.as_micros() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meters_cm_round_trip() {
+        let m = Meters::from_cm(250.0);
+        assert!((m.get() - 2.5).abs() < 1e-12);
+        assert!((m.as_cm() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(format!("{}", Db::new(3.0)), "3.000 dB");
+        assert_eq!(format!("{}", Dbm::new(-5.0)), "-5.000 dBm");
+        assert_eq!(format!("{}", Meters::new(1.5)), "1.500 m");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Db::new(-3.0).abs(), Db::new(3.0));
+        assert_eq!(Db::new(1.0).min(Db::new(2.0)), Db::new(1.0));
+        assert_eq!(Db::new(1.0).max(Db::new(2.0)), Db::new(2.0));
+    }
+
+    #[test]
+    fn watts_arithmetic() {
+        let sum = Watts::new(1.0) + Watts::new(2.0);
+        assert_eq!(sum, Watts::new(3.0));
+        assert!((sum / Watts::new(1.5) - 2.0).abs() < 1e-12);
+        assert_eq!(Watts::new(2.0) * 0.5, Watts::new(1.0));
+    }
+}

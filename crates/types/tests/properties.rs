@@ -1,0 +1,121 @@
+//! Property-based tests for the foundation types.
+
+use cbma_types::geometry::{Point, Rect};
+use cbma_types::units::{Db, Dbm, Hertz, Meters, Seconds};
+use cbma_types::{Bits, Iq, SeedSequence};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// dBm ↔ watts round-trips across fourteen orders of magnitude.
+    #[test]
+    fn dbm_watts_round_trip(dbm in -120.0f64..40.0) {
+        let back = Dbm::new(dbm).to_watts().to_dbm().get();
+        prop_assert!((back - dbm).abs() < 1e-9);
+    }
+
+    /// dB ratio algebra: from_ratio ∘ to_ratio is the identity, and
+    /// adding decibels multiplies ratios.
+    #[test]
+    fn db_algebra(a in -60.0f64..60.0, b in -60.0f64..60.0) {
+        let ra = Db::new(a).to_ratio();
+        let rb = Db::new(b).to_ratio();
+        let sum = Db::new(a) + Db::new(b);
+        prop_assert!((sum.to_ratio() - ra * rb).abs() < 1e-9 * (1.0 + ra * rb));
+        prop_assert!((Db::from_ratio(ra).get() - a).abs() < 1e-9);
+    }
+
+    /// Wavelength × frequency recovers the speed of light.
+    #[test]
+    fn wavelength_times_frequency_is_c(ghz in 0.1f64..100.0) {
+        let f = Hertz::from_ghz(ghz);
+        let c = f.wavelength().get() * f.get();
+        prop_assert!((c - Hertz::SPEED_OF_LIGHT).abs() < 1.0);
+    }
+
+    /// Unit conversions round-trip.
+    #[test]
+    fn length_and_time_round_trips(cm in -1e4f64..1e4, us in -1e6f64..1e6) {
+        prop_assert!((Meters::from_cm(cm).as_cm() - cm).abs() < 1e-9 * (1.0 + cm.abs()));
+        prop_assert!(
+            (Seconds::from_micros(us).as_micros() - us).abs() < 1e-9 * (1.0 + us.abs())
+        );
+    }
+
+    /// The triangle inequality holds for the deployment plane.
+    #[test]
+    fn triangle_inequality(
+        ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+        bx in -5.0f64..5.0, by in -5.0f64..5.0,
+        cx in -5.0f64..5.0, cy in -5.0f64..5.0,
+    ) {
+        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+    }
+
+    /// Rect::clamp always lands inside, and containment is idempotent.
+    #[test]
+    fn rect_clamp_contains(
+        x in -10.0f64..10.0, y in -10.0f64..10.0,
+        x1 in -3.0f64..3.0, y1 in -3.0f64..3.0,
+        x2 in -3.0f64..3.0, y2 in -3.0f64..3.0,
+    ) {
+        let rect = Rect::new(Point::new(x1, y1), Point::new(x2, y2));
+        let clamped = rect.clamp(Point::new(x, y));
+        prop_assert!(rect.contains(clamped));
+        prop_assert_eq!(rect.clamp(clamped), clamped);
+    }
+
+    /// Complex multiplication is associative and |ab| = |a||b|.
+    #[test]
+    fn iq_multiplication_laws(
+        ar in -2.0f64..2.0, ai in -2.0f64..2.0,
+        br in -2.0f64..2.0, bi in -2.0f64..2.0,
+        cr in -2.0f64..2.0, ci in -2.0f64..2.0,
+    ) {
+        let (a, b, c) = (Iq::new(ar, ai), Iq::new(br, bi), Iq::new(cr, ci));
+        let left = (a * b) * c;
+        let right = a * (b * c);
+        prop_assert!((left - right).abs() < 1e-9);
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+
+    /// Bit vectors survive byte packing whenever the length divides by 8,
+    /// and XOR is an involution.
+    #[test]
+    fn bits_pack_and_xor(data in proptest::collection::vec(0u8..2, 0..128)) {
+        let bits = Bits::from_slice(&data).unwrap();
+        if bits.len() % 8 == 0 {
+            let packed = bits.to_bytes_msb().unwrap();
+            prop_assert_eq!(Bits::from_bytes_msb(&packed), bits.clone());
+        }
+        let mask: Bits = (0..bits.len()).map(|i| (i % 3 == 0) as u8).collect();
+        prop_assert_eq!(bits.xor(&mask).xor(&mask), bits.clone());
+        prop_assert_eq!(bits.complement().complement(), bits);
+    }
+
+    /// Cyclic rotation by the length is the identity; rotations compose.
+    #[test]
+    fn rotation_laws(
+        data in proptest::collection::vec(0u8..2, 1..64),
+        r1 in 0usize..128,
+        r2 in 0usize..128,
+    ) {
+        let bits = Bits::from_slice(&data).unwrap();
+        prop_assert_eq!(bits.rotate_left(bits.len()), bits.clone());
+        prop_assert_eq!(
+            bits.rotate_left(r1).rotate_left(r2),
+            bits.rotate_left((r1 + r2) % bits.len())
+        );
+    }
+
+    /// Seed derivation is stable and label-sensitive.
+    #[test]
+    fn seeds_are_stable(root in any::<u64>(), idx in any::<u64>()) {
+        let seq = SeedSequence::new(root);
+        prop_assert_eq!(seq.derive("a"), SeedSequence::new(root).derive("a"));
+        prop_assert_ne!(seq.derive("a"), seq.derive("b"));
+        prop_assert_eq!(seq.derive_indexed("t", idx), seq.derive_indexed("t", idx));
+    }
+}

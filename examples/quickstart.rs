@@ -1,0 +1,61 @@
+//! Quickstart: two concurrent backscatter tags, decoded in one collision.
+//!
+//! Reproduces the paper's core demonstration at minimum scale: two tags
+//! spread their frames with different PN codes, transmit *simultaneously*
+//! in the same band, and the receiver separates and decodes both from a
+//! single captured IQ buffer.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cbma::prelude::*;
+
+fn main() -> cbma::Result<()> {
+    // The paper's bench geometry (§IV): excitation source at (−50 cm, 0),
+    // receiver at (50 cm, 0), tags in between.
+    let scenario = Scenario::paper_default(vec![Point::new(0.0, 0.40), Point::new(0.0, -0.40)]);
+    println!("CBMA quickstart — 2 concurrent tags, 2NC codes");
+    println!(
+        "  chip rate {} | samples/chip {} | preamble {} bits",
+        scenario.phy.chip_rate,
+        scenario.phy.samples_per_chip(),
+        scenario.phy.preamble_bits
+    );
+
+    let mut engine = Engine::new(scenario)?;
+    // Boot both tags at full backscatter power for the demo.
+    for tag in engine.tags_mut() {
+        tag.set_impedance(ImpedanceState::Open);
+    }
+
+    // One collided packet, inspected in detail.
+    let outcome = engine.run_round();
+    println!("\nfirst collision:");
+    for user in &outcome.report.users {
+        println!(
+            "  tag {} detected at sample {} (preamble correlation {:.3}) -> {}",
+            user.detection.code_index,
+            user.detection.start,
+            user.detection.correlation,
+            if user.outcome.is_frame() {
+                "frame decoded, CRC ok"
+            } else {
+                "decode failed"
+            }
+        );
+    }
+
+    // A short run for statistics.
+    let stats = engine.run_rounds(50);
+    let phy = engine.scenario().phy;
+    println!("\nafter {} collided packets:", stats.rounds());
+    println!("  frame error rate      {:.2} %", stats.fer() * 100.0);
+    println!(
+        "  aggregate symbol rate {:.2} Mbps",
+        stats.aggregate_symbol_rate(&phy).get() / 1e6
+    );
+    println!(
+        "  aggregate goodput     {:.1} kbps",
+        stats.goodput(&phy, engine.scenario().payload_len, 16).get() / 1e3
+    );
+    Ok(())
+}

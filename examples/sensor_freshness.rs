@@ -1,0 +1,79 @@
+//! Sensor freshness: age-of-information across access schemes.
+//!
+//! A smart-home hub cares about how *stale* each sensor's latest reading
+//! is, not just aggregate throughput. This example drives the same 6-tag
+//! deployment under four medium-access schemes — concurrent CBMA,
+//! round-robin TDMA, optimal framed slotted ALOHA, and the EPC Gen2
+//! Q-algorithm — and reports per-scheme delivery statistics, worst
+//! staleness gaps, and mean age of information.
+//!
+//! Run with: `cargo run --release --example sensor_freshness`
+
+use cbma::mac::{AccessScheme, CbmaAccess, FsaAccess, QAlgoAccess, TdmaAccess};
+use cbma::prelude::*;
+use rand::SeedableRng;
+
+const N: usize = 6;
+const SLOTS: usize = 60;
+
+fn positions() -> Vec<Point> {
+    vec![
+        Point::new(0.15, 0.45),
+        Point::new(-0.15, 0.45),
+        Point::new(0.15, -0.45),
+        Point::new(-0.15, -0.45),
+        Point::new(0.35, 0.5),
+        Point::new(-0.35, 0.5),
+    ]
+}
+
+fn run(scheme: &mut dyn AccessScheme) -> (u64, f64, f64) {
+    let scenario = Scenario::paper_default(positions()).with_seed(0xF2E5);
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF2E5_0001);
+    let mut tracker = LatencyTracker::new(N);
+    let mut delivered = 0u64;
+    for _ in 0..SLOTS {
+        let tx: Vec<usize> = scheme
+            .next_slot(&mut rng)
+            .into_iter()
+            .map(|t| t as usize)
+            .collect();
+        let outcome = engine.run_round_subset(&tx);
+        delivered += outcome.delivered.len() as u64;
+        tracker.record(&outcome);
+    }
+    let worst_gap = (0..N)
+        .map(|i| tracker.worst_gap(i).unwrap_or(SLOTS as u64) as f64)
+        .fold(0.0f64, f64::max);
+    let mean_age = (0..N).filter_map(|i| tracker.mean_age(i)).sum::<f64>() / N as f64;
+    (delivered, worst_gap, mean_age)
+}
+
+fn main() -> cbma::Result<()> {
+    println!("sensor freshness: {N} tags, {SLOTS} slots per scheme\n");
+    println!(
+        "{:<16} {:>10} {:>16} {:>16}",
+        "scheme", "frames", "worst gap (slots)", "mean age (slots)"
+    );
+
+    let mut schemes: Vec<Box<dyn AccessScheme>> = vec![
+        Box::new(CbmaAccess::new(N)),
+        Box::new(TdmaAccess::new(N)),
+        Box::new(FsaAccess::optimal(N)),
+        Box::new(QAlgoAccess::new(N)),
+    ];
+    for scheme in schemes.iter_mut() {
+        let name = scheme.name();
+        let (frames, worst, age) = run(scheme.as_mut());
+        println!("{name:<16} {frames:>10} {worst:>16.0} {age:>16.1}");
+    }
+
+    println!("\nreading: concurrent CBMA refreshes every sensor every slot, so its");
+    println!("age stays near 1; serialized schemes age each sensor by ~n slots");
+    println!("between visits, and random access adds collision gaps on top.");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Warehouse inventory: more tags than the code family can carry at once.
+//!
+//! §V-C: "When there are many tags distributed in the environment, we
+//! choose some of them in a group to transmit data." Twenty shelf tags
+//! share ten concurrent-capable codes' worth of airtime; the reader
+//! rotates groups. Two grouping policies are compared: naive round-robin
+//! and §VIII-D's power-homogeneous grouping (tags of similar received
+//! strength transmit together — the condition Table II shows decoding
+//! needs). No tag starves: every tag gets one slot per rotation either
+//! way; the homogeneous policy simply loses fewer of those slots.
+//!
+//! Run with: `cargo run --release --example warehouse`
+
+use cbma::mac::{AccessScheme, GroupPlan, GroupedCbmaAccess};
+use cbma::prelude::*;
+use cbma::sim::deployment::random_positions;
+use rand::SeedableRng;
+
+const N_TAGS: usize = 20;
+const GROUP: usize = 5;
+const ROTATIONS: usize = 12;
+
+fn measure(plan: GroupPlan, scenario: &Scenario) -> (f64, Vec<u64>) {
+    let mut engine = Engine::new(scenario.clone()).expect("valid scenario");
+    for t in engine.tags_mut() {
+        t.set_impedance(ImpedanceState::Open);
+    }
+    let n_groups = plan.len();
+    let mut access = GroupedCbmaAccess::new(plan, N_TAGS);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x17A6);
+    let mut stats = cbma::sim::RunStats::new(N_TAGS);
+    for _ in 0..n_groups * ROTATIONS {
+        let tx: Vec<usize> = access
+            .next_slot(&mut rng)
+            .into_iter()
+            .map(|t| t as usize)
+            .collect();
+        let outcome = engine.run_round_subset(&tx);
+        stats.record(&outcome);
+    }
+    let per_tag: Vec<u64> = (0..N_TAGS)
+        .map(|i| {
+            stats.ack_ratios()[i].round() as u64 * 0 // placeholder replaced below
+                + (stats.ack_ratios()[i] * ROTATIONS as f64).round() as u64
+        })
+        .collect();
+    (stats.fer(), per_tag)
+}
+
+fn main() -> cbma::Result<()> {
+    // A bigger reader zone than the table benches: 2.4 m × 2 m of shelf
+    // space, 20 tags.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x17A6_0001);
+    let area = Rect::new(Point::new(-1.2, -1.0), Point::new(1.2, 1.0));
+    let positions = random_positions(&mut rng, area, N_TAGS, 0.12);
+
+    let mut scenario = Scenario::paper_default(positions.clone());
+    // Twenty tags need a family with capacity ≥ 20; 2NC sized for 16
+    // users gives 31 codes of length 32.
+    scenario.family = FamilyKind::TwoNc { users: 16 };
+
+    println!("warehouse inventory: {N_TAGS} tags, groups of {GROUP}, {ROTATIONS} rotations");
+
+    // Policy 1: naive round-robin grouping.
+    let naive = GroupPlan::round_robin(N_TAGS, GROUP);
+    let (fer_naive, _) = measure(naive, &scenario);
+
+    // Policy 2: power-homogeneous grouping on the theoretical field.
+    let scores: Vec<f64> = positions
+        .iter()
+        .map(|&p| {
+            scenario
+                .link
+                .received_power(scenario.es, p, scenario.rx)
+                .get()
+        })
+        .collect();
+    let homogeneous = GroupPlan::by_power(&scores, GROUP);
+    println!(
+        "\nwithin-group power spread: round-robin {:.1} dB vs homogeneous {:.1} dB",
+        GroupPlan::round_robin(N_TAGS, GROUP).max_group_spread(&scores),
+        homogeneous.max_group_spread(&scores)
+    );
+    let (fer_homog, _) = measure(homogeneous, &scenario);
+
+    println!("\ninventory round results:");
+    println!("  round-robin grouping : FER {:.1} %", fer_naive * 100.0);
+    println!("  power-homogeneous    : FER {:.1} %", fer_homog * 100.0);
+    println!(
+        "\ngrouping tags of similar received power cut the loss rate by {:.1}x",
+        fer_naive / fer_homog.max(1e-4)
+    );
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Workspace root crate: hosts the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The library surface simply
+//! re-exports the `cbma` facade so examples can `use cbma_suite as cbma`.
+pub use cbma::*;

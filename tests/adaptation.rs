@@ -1,0 +1,90 @@
+//! Integration: closed-loop power control and node selection.
+
+use cbma::prelude::*;
+use cbma::sim::adaptation::Adapter;
+
+#[test]
+fn power_control_rescues_a_weak_booted_tag() {
+    // Tag 1 boots at the weakest impedance next to a full-power
+    // neighbour; Algorithm 1 must step it until its ACK ratio recovers.
+    let scenario = Scenario::paper_default(vec![Point::new(0.0, 0.35), Point::new(0.3, -0.6)]);
+    let mut engine = Engine::new(scenario).unwrap();
+    engine.tags_mut()[0].set_impedance(ImpedanceState::Open);
+    engine.tags_mut()[1].set_impedance(ImpedanceState::Inductor2nH);
+
+    let before = {
+        let mut probe = Engine::new(engine.scenario().clone()).unwrap();
+        probe.tags_mut()[0].set_impedance(ImpedanceState::Open);
+        probe.tags_mut()[1].set_impedance(ImpedanceState::Inductor2nH);
+        probe.run_rounds(15).fer()
+    };
+    let adapter = Adapter::paper_default(10);
+    let report = adapter.run_power_control(&mut engine);
+    let after = engine.run_rounds(15).fer();
+    assert!(
+        after <= before + 0.05,
+        "power control should not make things worse: {before} -> {after} ({report:?})"
+    );
+    assert!(after < 0.45, "adapted FER {after} still too high");
+}
+
+#[test]
+fn power_control_respects_the_cycle_cap() {
+    // A hopeless deployment must terminate within 3n control cycles.
+    let mut scenario = Scenario::paper_default(vec![Point::new(5.0, 5.0)]);
+    scenario.noise = NoiseModel::new(Db::new(10.0), Dbm::new(-60.0));
+    let mut engine = Engine::new(scenario).unwrap();
+    let adapter = Adapter::paper_default(4);
+    let report = adapter.run_power_control(&mut engine);
+    assert!(report.fer_history.len() <= 3 + 1);
+    assert!(report.final_fer() > 0.5, "deployment should remain bad");
+}
+
+#[test]
+fn node_selection_moves_a_hopeless_tag_and_improves() {
+    let scenario = Scenario::paper_default(vec![
+        Point::new(0.0, 0.35),
+        Point::new(1.9, 2.9), // far corner: unrecoverable by power alone
+    ])
+    .with_seed(11);
+    let mut engine = Engine::new(scenario).unwrap();
+    let adapter = Adapter::paper_default(10);
+    let idle = vec![Point::new(0.25, -0.4), Point::new(-0.3, 0.5)];
+    let report = adapter.run_with_node_selection(&mut engine, &idle);
+    assert!(
+        report.relocations.iter().any(|&(t, _, _)| t == 1),
+        "the far tag should be relocated: {report:?}"
+    );
+    assert!(
+        report.final_fer() < 0.35,
+        "post-selection FER {} too high",
+        report.final_fer()
+    );
+}
+
+#[test]
+fn node_selection_respects_exclusion_radius() {
+    // The only idle position sits 2 cm from the healthy tag — inside the
+    // λ/2 exclusion radius — so the annealing pass must not pick it, and
+    // the fallback must also skip it.
+    let scenario =
+        Scenario::paper_default(vec![Point::new(0.0, 0.35), Point::new(1.9, 2.9)]).with_seed(13);
+    let mut engine = Engine::new(scenario).unwrap();
+    let adapter = Adapter::paper_default(8);
+    let idle = vec![Point::new(0.0, 0.37)];
+    let report = adapter.run_with_node_selection(&mut engine, &idle);
+    assert!(
+        report.relocations.is_empty(),
+        "must not relocate inside the exclusion radius: {report:?}"
+    );
+}
+
+#[test]
+fn adaptation_report_aggregates_history() {
+    let scenario = Scenario::paper_default(vec![Point::new(0.0, 0.4)]);
+    let mut engine = Engine::new(scenario).unwrap();
+    let adapter = Adapter::paper_default(6);
+    let report = adapter.run_with_node_selection(&mut engine, &[]);
+    assert!(!report.fer_history.is_empty());
+    assert_eq!(report.final_stats.rounds(), 6);
+}

@@ -1,0 +1,64 @@
+//! Integration: interference coexistence (the Fig. 12 ordering).
+
+use cbma::prelude::*;
+
+fn measure(scenario: Scenario, rounds: usize) -> f64 {
+    let mut engine = Engine::new(scenario).unwrap();
+    for tag in engine.tags_mut() {
+        tag.set_impedance(ImpedanceState::Open);
+    }
+    1.0 - engine.run_rounds(rounds).fer() // packet reception rate
+}
+
+fn base() -> Scenario {
+    Scenario::paper_default(vec![Point::new(0.0, 0.4), Point::new(0.0, -0.45)])
+}
+
+#[test]
+fn wifi_and_bluetooth_cost_little() {
+    let clean = measure(base(), 20);
+    let wifi = {
+        let mut s = base();
+        s.interference = InterferenceModel::wifi(Dbm::new(-62.0), 1500);
+        measure(s, 20)
+    };
+    let bt = {
+        let mut s = base();
+        s.interference = InterferenceModel::bluetooth(Dbm::new(-62.0), 5000);
+        measure(s, 20)
+    };
+    assert!(clean > 0.8, "clean PRR {clean}");
+    // The duty-cycled interferers may cost some packets but must leave
+    // the system operational (Fig. 12 cases ii and iii).
+    assert!(wifi > 0.5, "wifi PRR {wifi}");
+    assert!(bt > 0.5, "bluetooth PRR {bt}");
+    assert!(clean >= wifi - 0.05);
+    assert!(clean >= bt - 0.05);
+}
+
+#[test]
+fn ofdm_excitation_hurts_much_more() {
+    let clean = measure(base(), 20);
+    let ofdm = {
+        let mut s = base();
+        s.excitation = Excitation::ofdm(0.6, 20_000);
+        measure(s, 20)
+    };
+    assert!(
+        ofdm < clean - 0.2,
+        "intermittent excitation should cost much more: clean {clean}, ofdm {ofdm}"
+    );
+}
+
+#[test]
+fn continuous_ofdm_burst_behaves_like_tone() {
+    // Degenerate check: duty ~1 with extremely long bursts approximates
+    // the tone.
+    let tone = measure(base(), 15);
+    let almost_tone = {
+        let mut s = base();
+        s.excitation = Excitation::ofdm(0.999, 10_000_000);
+        measure(s, 15)
+    };
+    assert!((tone - almost_tone).abs() < 0.2);
+}

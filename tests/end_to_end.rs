@@ -1,0 +1,127 @@
+//! Integration: the full pipeline from tag framing to receiver ACK.
+
+use cbma::prelude::*;
+
+fn line_positions(n: usize) -> Vec<Point> {
+    // Alternating above/below the ES–RX axis, comfortably separated.
+    (0..n)
+        .map(|i| {
+            let y = 0.4 + 0.15 * (i / 2) as f64;
+            Point::new(0.0, if i % 2 == 0 { y } else { -y })
+        })
+        .collect()
+}
+
+fn balanced_ten() -> Vec<Point> {
+    // Positions mirrored across both axes share the same d1²·d2² product,
+    // so all ten links are within ~2 dB of each other.
+    vec![
+        Point::new(0.15, 0.45),
+        Point::new(-0.15, 0.45),
+        Point::new(0.15, -0.45),
+        Point::new(-0.15, -0.45),
+        Point::new(0.35, 0.5),
+        Point::new(-0.35, 0.5),
+        Point::new(0.35, -0.5),
+        Point::new(-0.35, -0.5),
+        Point::new(0.0, 0.62),
+        Point::new(0.0, -0.62),
+    ]
+}
+
+fn full_power(engine: &mut Engine) {
+    for tag in engine.tags_mut() {
+        tag.set_impedance(ImpedanceState::Open);
+    }
+}
+
+#[test]
+fn single_tag_delivers_every_frame_on_clean_channel() {
+    let mut engine = Engine::new(Scenario::clean(line_positions(1))).unwrap();
+    let stats = engine.run_rounds(15);
+    assert_eq!(stats.fer(), 0.0);
+    assert_eq!(stats.total_delivered(), 15);
+}
+
+#[test]
+fn five_tags_collide_and_mostly_deliver() {
+    // A balanced-link subset (shared d1²·d2² products) — the line
+    // geometry's power spread is the near-far case tested elsewhere.
+    let mut engine = Engine::new(Scenario::paper_default(balanced_ten()[..5].to_vec())).unwrap();
+    full_power(&mut engine);
+    let stats = engine.run_rounds(20);
+    assert!(
+        stats.fer() < 0.25,
+        "5-tag collision FER {} too high",
+        stats.fer()
+    );
+}
+
+#[test]
+fn ten_tags_collide_concurrently() {
+    let mut engine = Engine::new(Scenario::paper_default(balanced_ten())).unwrap();
+    full_power(&mut engine);
+    let stats = engine.run_rounds(10);
+    // Ten concurrent tags are the paper's headline configuration; most
+    // frames must get through in a benign geometry.
+    assert!(
+        stats.fer() < 0.35,
+        "10-tag collision FER {} too high",
+        stats.fer()
+    );
+    // Aggregate modulated rate approaches n_tags × chip rate.
+    let agg = stats.aggregate_symbol_rate(&engine.scenario().phy).get();
+    assert!(agg > 6.5e6, "aggregate rate {agg} too low");
+}
+
+#[test]
+fn decoded_payloads_match_what_tags_sent() {
+    let mut engine = Engine::new(Scenario::clean(line_positions(3))).unwrap();
+    full_power(&mut engine);
+    for round in 0..5u64 {
+        let expected: Vec<Vec<u8>> = (0..3).map(|i| engine.payload_for(i, round)).collect();
+        let outcome = engine.run_round();
+        for (id, frame) in outcome.report.frames() {
+            assert_eq!(
+                frame.payload(),
+                expected[id].as_slice(),
+                "round {round} tag {id} payload corrupted"
+            );
+        }
+        assert!(outcome.all_delivered(), "round {round}: {outcome:?}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let run = |seed| {
+        let mut engine =
+            Engine::new(Scenario::paper_default(line_positions(4)).with_seed(seed)).unwrap();
+        (0..8)
+            .map(|_| engine.run_round().delivered)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn gold_codes_also_work_end_to_end() {
+    let scenario = Scenario::paper_default(line_positions(3)).with_gold_codes(5);
+    let mut engine = Engine::new(scenario).unwrap();
+    full_power(&mut engine);
+    let stats = engine.run_rounds(15);
+    assert!(stats.fer() < 0.4, "gold-code FER {}", stats.fer());
+}
+
+#[test]
+fn subset_transmissions_are_detected_exactly() {
+    let mut engine = Engine::new(Scenario::clean(line_positions(6))).unwrap();
+    full_power(&mut engine);
+    let outcome = engine.run_round_subset(&[1, 4]);
+    assert_eq!(outcome.delivered, vec![1, 4]);
+    // Inactive tags must not be acknowledged.
+    for id in [0u32, 2, 3, 5] {
+        assert!(!outcome.report.ack.acknowledges(id));
+    }
+}

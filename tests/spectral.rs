@@ -1,0 +1,118 @@
+//! Integration: spectral sanity of the simulated air interface.
+//!
+//! Uses the DSP analysis tools (FFT, Goertzel) to verify that the channel
+//! and tag models produce the spectra the math promises — the kind of
+//! check an engineer would do on a spectrum analyzer before trusting a
+//! testbed.
+
+use cbma::dsp::fft::power_spectrum;
+use cbma::dsp::goertzel::bin_power;
+use cbma::prelude::*;
+
+#[test]
+fn subcarrier_beat_appears_at_the_configured_offset() {
+    // A tag with a known subcarrier offset must put its energy in the
+    // corresponding baseband bin.
+    use cbma::channel::mixer::{Mixer, TagSignal};
+    use cbma::channel::{Excitation, InterferenceModel, NoiseModel};
+    use rand::SeedableRng;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let n = 4096;
+    let offset_cycles_per_sample = 0.01;
+    let sig = TagSignal {
+        envelope: vec![1.0; n], // continuous reflection isolates the tone
+        amplitude: 1.0,
+        phase: 0.3,
+        taps: cbma::channel::multipath::ChannelTaps::identity(),
+        delay_samples: 0.0,
+        freq_offset_rad_per_sample: std::f64::consts::TAU * offset_cycles_per_sample,
+    };
+    let mixer = Mixer {
+        noise: NoiseModel::new(Db::new(0.0), Dbm::new(-120.0)),
+        bandwidth: Hertz::from_mhz(1.0),
+        excitation: Excitation::tone(),
+        interference: InterferenceModel::none(),
+        lead_in: 0,
+        tail: 0,
+    };
+    let iq = mixer.combine(&mut rng, &[sig]);
+    let on_bin = bin_power(&iq[..n], offset_cycles_per_sample);
+    let off_bin = bin_power(&iq[..n], 0.1);
+    assert!(
+        on_bin > 100.0 * off_bin,
+        "beat tone not where expected: on {on_bin:.1}, off {off_bin:.3}"
+    );
+}
+
+#[test]
+fn spread_spectrum_is_flat_compared_to_unspread() {
+    // Spreading must whiten the transmitted spectrum: the peak-to-average
+    // ratio of the chip waveform's spectrum is far below that of the
+    // unspread bit waveform (the whole point of DSSS).
+    use cbma::codes::{CodeFamily, TwoNcFamily};
+    use cbma::tag::encoder::spread;
+    use cbma::tag::modulator::ook_envelope;
+
+    let code = TwoNcFamily::new(8).unwrap().code(0).unwrap();
+    // A deliberately narrowband bit pattern: all ones.
+    let bits: Bits = (0..32u32).map(|_| 1u8).collect();
+    let unspread: Vec<Iq> = ook_envelope(&bits, 16)
+        .into_iter()
+        .map(|e| Iq::new(e - 0.5, 0.0))
+        .collect();
+    let chips = spread(&bits, &code);
+    let spread_wave: Vec<Iq> = ook_envelope(&chips, 1)
+        .into_iter()
+        .map(|e| Iq::new(e - 0.5, 0.0))
+        .collect();
+
+    let par = |buf: &[Iq]| {
+        let n = buf.len().next_power_of_two();
+        let mut padded = buf.to_vec();
+        padded.resize(n, Iq::ZERO);
+        let spec = power_spectrum(&padded).unwrap();
+        let peak = spec.iter().copied().fold(0.0f64, f64::max);
+        let mean = spec.iter().sum::<f64>() / spec.len() as f64;
+        peak / mean
+    };
+    let par_unspread = par(&unspread);
+    let par_spread = par(&spread_wave);
+    assert!(
+        par_unspread > 5.0 * par_spread,
+        "spreading failed to whiten: unspread PAR {par_unspread:.1}, spread {par_spread:.1}"
+    );
+}
+
+#[test]
+fn received_power_matches_link_budget() {
+    // The mean power of a captured frame must agree with Eq. 1 within the
+    // fading/envelope statistics.
+    let mut scenario = Scenario::clean(vec![Point::new(0.0, 0.4)]);
+    scenario.noise = NoiseModel::new(Db::new(0.0), Dbm::new(-150.0));
+    let mut engine = Engine::new(scenario.clone()).unwrap();
+    engine.tags_mut()[0].set_impedance(ImpedanceState::Open);
+    engine.set_capture_iq(true);
+    let outcome = engine.run_round();
+    let iq = outcome.iq.unwrap();
+
+    // Mean power over the frame body (past the lead-in), corrected for
+    // the ~50% OOK duty cycle.
+    let body = &iq[300..iq.len() - 100];
+    let measured: f64 = body.iter().map(|s| s.power()).sum::<f64>() / body.len() as f64;
+    // The Open impedance state reflects with |ΔΓ| = 2 (the engine swaps
+    // it into the link budget).
+    let expected = scenario
+        .link
+        .with_delta_gamma(2.0)
+        .received_power(scenario.es, Point::new(0.0, 0.4), scenario.rx)
+        .to_watts()
+        .get();
+    let ratio = measured / expected;
+    // OOK duty ≈ 0.5 → measured ≈ 0.5 × expected; allow slack for code
+    // imbalance and the lead-in/tail trim.
+    assert!(
+        (0.3..=0.8).contains(&ratio),
+        "measured/expected = {ratio:.3}"
+    );
+}

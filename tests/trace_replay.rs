@@ -1,0 +1,56 @@
+//! Integration: trace recording, serialization, and replay determinism.
+
+use cbma::prelude::*;
+use cbma::sim::trace::Trace;
+
+#[test]
+fn identical_seeds_produce_identical_traces() {
+    let record = |seed: u64| {
+        let scenario = Scenario::paper_default(vec![
+            Point::new(0.0, 0.4),
+            Point::new(0.0, -0.45),
+            Point::new(0.2, 0.6),
+        ])
+        .with_seed(seed);
+        let mut engine = Engine::new(scenario).unwrap();
+        let mut trace = Trace::new();
+        for _ in 0..10 {
+            let outcome = engine.run_round();
+            trace.record(&outcome);
+        }
+        trace
+    };
+    let a = record(55);
+    let b = record(55);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+    let c = record(56);
+    assert_ne!(a, c, "different seeds should diverge");
+}
+
+#[test]
+fn traces_survive_text_round_trip() {
+    let scenario = Scenario::paper_default(vec![Point::new(0.0, 0.4), Point::new(0.0, -0.4)]);
+    let mut engine = Engine::new(scenario).unwrap();
+    let mut trace = Trace::new();
+    for _ in 0..6 {
+        trace.record(&engine.run_round());
+    }
+    let text = trace.to_text();
+    let parsed = Trace::from_text(&text).unwrap();
+    assert_eq!(parsed, trace);
+    assert!((parsed.fer() - trace.fer()).abs() < 1e-12);
+}
+
+#[test]
+fn trace_fer_matches_run_stats() {
+    let scenario = Scenario::paper_default(vec![Point::new(0.0, 0.4), Point::new(0.3, -0.6)]);
+    let mut engine = Engine::new(scenario).unwrap();
+    let mut trace = Trace::new();
+    let mut stats = cbma::sim::RunStats::new(2);
+    for _ in 0..12 {
+        let outcome = engine.run_round();
+        trace.record(&outcome);
+        stats.record(&outcome);
+    }
+    assert!((trace.fer() - stats.fer()).abs() < 1e-12);
+}
