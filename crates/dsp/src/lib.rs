@@ -17,6 +17,11 @@
 //!   (paper Eq. 2) including the first-harmonic approximation,
 //! * [`fft`] — a radix-2 FFT used for spectrum inspection and the OFDM
 //!   interference model,
+//! * [`xcorr`] — the fast sliding-correlation engine: precomputed
+//!   [`xcorr::FftPlan`]s, the overlap-save [`xcorr::SlidingCorrelator`]
+//!   with cached reference spectra, and [`xcorr::RunningEnergy`] prefix
+//!   sums for O(1) segment power/mean queries — the receiver's user
+//!   detector runs on these,
 //! * [`window`] — taper functions for spectral analysis.
 //!
 //! # Examples
@@ -39,11 +44,13 @@ pub mod mafilter;
 pub mod resample;
 pub mod squarewave;
 pub mod window;
+pub mod xcorr;
 
 pub use biquad::Biquad;
 pub use correlate::{
     correlate_iq_bipolar, normalized_correlation, sliding_correlation, PeakSearch,
 };
+pub use xcorr::{FftPlan, RunningEnergy, SlidingCorrelator};
 pub use energy::{power_series, EnergyDetector};
 pub use fir::Fir;
 pub use goertzel::Goertzel;

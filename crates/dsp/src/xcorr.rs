@@ -1,0 +1,555 @@
+//! Fast sliding cross-correlation: overlap-save FFT engine, cached FFT
+//! plans, and O(1) running-energy queries.
+//!
+//! CBMA's receiver cross-correlates every known PN code's spread-preamble
+//! reference against the received window at every candidate lag (§III-B).
+//! Done directly that is O(lags × ref_len) *per code* — the receiver's
+//! dominant cost. This module turns the sliding dot products into
+//! frequency-domain multiplications (overlap-save block convolution on the
+//! workspace's radix-2 FFT) and the per-lag segment-energy normalization
+//! into prefix-sum lookups:
+//!
+//! * [`FftPlan`] — a reusable radix-2 plan with the bit-reversal
+//!   permutation and twiddle factors precomputed once, so the butterfly
+//!   loop performs no `sin`/`cos` calls,
+//! * [`SlidingCorrelator`] — caches the conjugate spectrum of one real
+//!   (bipolar) reference and correlates it against arbitrary-length
+//!   complex-IQ or real windows in O(N log B) via overlap-save blocks,
+//! * [`RunningEnergy`] — prefix sums of |s| and |s|² giving O(1) segment
+//!   power, mean and mean-removed energy over any `[off, off + len)`,
+//!   serving both the coherent power normalization and the envelope
+//!   mean-removed statistic.
+//!
+//! The engine is exact up to FFT rounding (≈1e-12 relative); the receiver
+//! keeps a direct path for short windows and the equivalence proptests in
+//! `crates/dsp/tests/xcorr.rs` and `crates/rx/tests/detect_equivalence.rs`
+//! pin the two paths together within 1e-9.
+
+use cbma_types::{CbmaError, Iq, Result};
+
+/// A precomputed radix-2 FFT plan for one power-of-two size.
+///
+/// Building a plan computes the bit-reversal permutation and the twiddle
+/// table e^{−2πik/N} (k < N/2) once; [`FftPlan::forward`] and
+/// [`FftPlan::inverse`] then run the butterflies with table lookups only.
+/// All stages share the one table: stage `len` uses every (N/len)-th entry.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index of every position (identity for n ≤ 1).
+    rev: Vec<u32>,
+    /// Forward twiddles e^{−2πik/n} for k in 0..n/2; inverse conjugates.
+    twiddles: Vec<Iq>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::ShapeMismatch`] when `n` is neither zero, one,
+    /// nor a power of two.
+    pub fn new(n: usize) -> Result<FftPlan> {
+        if n > 1 && !n.is_power_of_two() {
+            return Err(CbmaError::ShapeMismatch {
+                expected: "power-of-two length".into(),
+                actual: format!("length {n}"),
+            });
+        }
+        let bits = n.trailing_zeros();
+        let rev = if n <= 1 {
+            Vec::new()
+        } else {
+            (0..n as u32)
+                .map(|i| i.reverse_bits() >> (u32::BITS - bits))
+                .collect()
+        };
+        let twiddles = (0..n / 2)
+            .map(|k| Iq::phasor(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Ok(FftPlan { n, rev, twiddles })
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan transforms zero-length buffers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward FFT (no normalization) in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::ShapeMismatch`] when `buf.len()` differs from
+    /// the plan length.
+    pub fn forward(&self, buf: &mut [Iq]) -> Result<()> {
+        self.check(buf)?;
+        self.run(buf, false);
+        Ok(())
+    }
+
+    /// Inverse FFT with 1/N normalization in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::ShapeMismatch`] when `buf.len()` differs from
+    /// the plan length.
+    pub fn inverse(&self, buf: &mut [Iq]) -> Result<()> {
+        self.check(buf)?;
+        self.run(buf, true);
+        let scale = 1.0 / self.n.max(1) as f64;
+        for x in buf.iter_mut() {
+            *x = x.scale(scale);
+        }
+        Ok(())
+    }
+
+    fn check(&self, buf: &[Iq]) -> Result<()> {
+        if buf.len() != self.n {
+            return Err(CbmaError::ShapeMismatch {
+                expected: format!("buffer of plan length {}", self.n),
+                actual: format!("length {}", buf.len()),
+            });
+        }
+        Ok(())
+    }
+
+    fn run(&self, buf: &mut [Iq], inverse: bool) {
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        for (i, &j) in self.rev.iter().enumerate() {
+            let j = j as usize;
+            if j > i {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for chunk in buf.chunks_mut(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = chunk[k];
+                    let v = chunk[k + half] * w;
+                    chunk[k] = u + v;
+                    chunk[k + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// Prefix sums of |s| and |s|² over a sample window: O(1) segment power,
+/// magnitude sum, mean and mean-removed energy for any `[off, off + len)`.
+///
+/// One instance serves both detector statistics: the coherent path
+/// normalizes by segment *power* (Σ|s|²) and the envelope path by the
+/// *mean-removed envelope energy* (Σ(|s|−mean)² = Σ|s|² − (Σ|s|)²/len).
+#[derive(Debug, Clone)]
+pub struct RunningEnergy {
+    /// prefix_abs[i] = Σ_{j<i} |s_j|
+    prefix_abs: Vec<f64>,
+    /// prefix_sq[i] = Σ_{j<i} |s_j|²
+    prefix_sq: Vec<f64>,
+}
+
+impl RunningEnergy {
+    /// Builds the prefix sums for a complex-IQ window (one O(n) pass).
+    pub fn new(samples: &[Iq]) -> RunningEnergy {
+        let mut prefix_abs = Vec::with_capacity(samples.len() + 1);
+        let mut prefix_sq = Vec::with_capacity(samples.len() + 1);
+        let (mut sa, mut sq) = (0.0, 0.0);
+        prefix_abs.push(0.0);
+        prefix_sq.push(0.0);
+        for s in samples {
+            let p = s.power();
+            sa += p.sqrt();
+            sq += p;
+            prefix_abs.push(sa);
+            prefix_sq.push(sq);
+        }
+        RunningEnergy { prefix_abs, prefix_sq }
+    }
+
+    /// Builds the prefix sums for a real-valued series (|v| and v²), e.g.
+    /// a reconstructed OOK envelope or an |s| magnitude series.
+    pub fn from_real(values: &[f64]) -> RunningEnergy {
+        let mut prefix_abs = Vec::with_capacity(values.len() + 1);
+        let mut prefix_sq = Vec::with_capacity(values.len() + 1);
+        let (mut sa, mut sq) = (0.0, 0.0);
+        prefix_abs.push(0.0);
+        prefix_sq.push(0.0);
+        for &v in values {
+            sa += v.abs();
+            sq += v * v;
+            prefix_abs.push(sa);
+            prefix_sq.push(sq);
+        }
+        RunningEnergy { prefix_abs, prefix_sq }
+    }
+
+    /// Number of samples covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prefix_sq.len() - 1
+    }
+
+    /// `true` when built over an empty window.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Σ|s|² over `[off, off + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment exceeds the window.
+    #[inline]
+    pub fn power(&self, off: usize, len: usize) -> f64 {
+        self.prefix_sq[off + len] - self.prefix_sq[off]
+    }
+
+    /// Σ|s| over `[off, off + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment exceeds the window.
+    #[inline]
+    pub fn abs_sum(&self, off: usize, len: usize) -> f64 {
+        self.prefix_abs[off + len] - self.prefix_abs[off]
+    }
+
+    /// Mean of |s| over `[off, off + len)`; 0.0 for an empty segment.
+    #[inline]
+    pub fn mean_abs(&self, off: usize, len: usize) -> f64 {
+        if len == 0 {
+            0.0
+        } else {
+            self.abs_sum(off, len) / len as f64
+        }
+    }
+
+    /// Mean-removed envelope energy Σ(|s|−mean)² over `[off, off + len)`,
+    /// clamped to ≥ 0 against rounding.
+    #[inline]
+    pub fn centered_energy(&self, off: usize, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        let sa = self.abs_sum(off, len);
+        (self.power(off, len) - sa * sa / len as f64).max(0.0)
+    }
+}
+
+/// One cached block size: the FFT plan plus the reference's conjugate
+/// spectrum at that size.
+#[derive(Debug, Clone)]
+struct BlockSpec {
+    /// conj(FFT(reference zero-padded to `fft_size`)).
+    ref_conj_spec: Vec<Iq>,
+    plan: FftPlan,
+    fft_size: usize,
+    /// Valid correlation outputs per block: `fft_size − ref_len + 1`.
+    block_out: usize,
+}
+
+impl BlockSpec {
+    fn new(reference: &[f64], fft_size: usize) -> BlockSpec {
+        let plan = FftPlan::new(fft_size).expect("power-of-two by construction");
+        let mut spec: Vec<Iq> = reference
+            .iter()
+            .map(|&r| Iq::new(r, 0.0))
+            .chain(std::iter::repeat(Iq::ZERO))
+            .take(fft_size)
+            .collect();
+        plan.forward(&mut spec).expect("sized to plan");
+        for x in spec.iter_mut() {
+            *x = x.conj();
+        }
+        BlockSpec {
+            ref_conj_spec: spec,
+            plan,
+            fft_size,
+            block_out: fft_size - reference.len() + 1,
+        }
+    }
+}
+
+/// Overlap-save FFT sliding correlator for one cached real reference.
+///
+/// Construction pads the reference to power-of-two block sizes, computes
+/// its conjugate spectrum once per size, and keeps the [`FftPlan`]s. Each
+/// [`SlidingCorrelator::correlate_iq`] call then processes the window in
+/// blocks of `B` samples overlapping by `ref_len − 1`, producing the exact
+/// linear cross-correlation
+/// `c[k] = Σ_i s[k+i]·r[i]` for every lag `k in 0..=n − ref_len`
+/// in O(N log B) instead of O(N · ref_len).
+///
+/// Two block sizes are cached: a *compact* one (`≈2L` rounded up) used
+/// whenever the whole window fits in a single block — the receiver's
+/// common case, where a frame-head search window is only a few hundred
+/// lags past the reference — and a *streaming* one (`≈4L`) whose larger
+/// valid region amortizes FFT work better over long, many-block windows.
+#[derive(Debug, Clone)]
+pub struct SlidingCorrelator {
+    reference: Vec<f64>,
+    /// Cached block sizes, ascending; the last is the streaming size.
+    blocks: Vec<BlockSpec>,
+}
+
+impl SlidingCorrelator {
+    /// Builds a correlator for `reference`, caching its conjugate
+    /// spectrum at each block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is empty.
+    pub fn new(reference: &[f64]) -> SlidingCorrelator {
+        assert!(!reference.is_empty(), "reference must be non-empty");
+        let l = reference.len();
+        // Compact size: the smallest power of two holding the reference
+        // plus a same-order slack of lags — one block, minimal FFT work
+        // for short search windows. Streaming size: ≈4L keeps FFT work
+        // per output low (2·B·log B for B−L+1 lags) without ballooning
+        // block memory. Floors of 64 so tiny references still amortize
+        // the permutation overhead.
+        let compact = (2 * l).next_power_of_two().max(64);
+        let streaming = (4 * l.next_power_of_two()).max(64);
+        let mut blocks = vec![BlockSpec::new(reference, compact)];
+        if streaming > compact {
+            blocks.push(BlockSpec::new(reference, streaming));
+        }
+        SlidingCorrelator {
+            reference: reference.to_vec(),
+            blocks,
+        }
+    }
+
+    /// Length of the cached reference.
+    #[inline]
+    pub fn reference_len(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// The largest (streaming) overlap-save FFT block size `B`.
+    #[inline]
+    pub fn fft_size(&self) -> usize {
+        self.blocks.last().expect("at least one block size").fft_size
+    }
+
+    /// The cached reference sequence.
+    #[inline]
+    pub fn reference(&self) -> &[f64] {
+        &self.reference
+    }
+
+    /// The block spec a window of `n` samples runs on: the smallest
+    /// cached size that covers the window in a single block, else the
+    /// streaming size.
+    fn block_for(&self, n: usize) -> &BlockSpec {
+        self.blocks
+            .iter()
+            .find(|b| n <= b.fft_size)
+            .unwrap_or_else(|| self.blocks.last().expect("at least one block size"))
+    }
+
+    /// Complex sliding correlation `c[k] = Σ_i s[k+i]·r[i]` for every lag
+    /// `k in 0..=samples.len() − ref_len` (empty when the window is
+    /// shorter than the reference). Matches
+    /// [`crate::correlate::correlate_iq_bipolar`] per lag up to FFT
+    /// rounding.
+    pub fn correlate_iq(&self, samples: &[Iq]) -> Vec<Iq> {
+        let l = self.reference.len();
+        if samples.len() < l {
+            return Vec::new();
+        }
+        let block = self.block_for(samples.len());
+        let lags = samples.len() - l + 1;
+        let mut out = Vec::with_capacity(lags);
+        let mut buf = vec![Iq::ZERO; block.fft_size];
+        let mut pos = 0;
+        while pos < lags {
+            let take = (samples.len() - pos).min(block.fft_size);
+            buf[..take].copy_from_slice(&samples[pos..pos + take]);
+            for x in buf[take..].iter_mut() {
+                *x = Iq::ZERO;
+            }
+            block.plan.forward(&mut buf).expect("sized to plan");
+            for (x, r) in buf.iter_mut().zip(&block.ref_conj_spec) {
+                *x = *x * *r;
+            }
+            block.plan.inverse(&mut buf).expect("sized to plan");
+            let valid = (lags - pos).min(block.block_out);
+            out.extend_from_slice(&buf[..valid]);
+            pos += block.block_out;
+        }
+        out
+    }
+
+    /// Real sliding correlation of a real-valued window (e.g. an |s|
+    /// magnitude series) against the cached reference.
+    pub fn correlate_real(&self, samples: &[f64]) -> Vec<f64> {
+        let as_iq: Vec<Iq> = samples.iter().map(|&v| Iq::new(v, 0.0)).collect();
+        self.correlate_iq(&as_iq).into_iter().map(|c| c.re).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::correlate_iq_bipolar;
+
+    fn direct_sliding(samples: &[Iq], reference: &[f64]) -> Vec<Iq> {
+        if reference.len() > samples.len() {
+            return Vec::new();
+        }
+        (0..=samples.len() - reference.len())
+            .map(|off| correlate_iq_bipolar(&samples[off..off + reference.len()], reference))
+            .collect()
+    }
+
+    fn test_signal(n: usize) -> Vec<Iq> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Iq::new((0.37 * t).sin() + 0.2, (0.11 * t).cos() - 0.1)
+            })
+            .collect()
+    }
+
+    fn test_reference(l: usize) -> Vec<f64> {
+        (0..l).map(|i| if (i * 7) % 3 == 0 { 1.0 } else { -1.0 }).collect()
+    }
+
+    #[test]
+    fn plan_matches_direct_fft_module() {
+        let buf: Vec<Iq> = test_signal(64);
+        let plan = FftPlan::new(64).unwrap();
+        let mut a = buf.clone();
+        plan.forward(&mut a).unwrap();
+        let b = crate::fft::fft(&buf).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-9, "{x} vs {y}");
+        }
+        plan.inverse(&mut a).unwrap();
+        for (x, y) in a.iter().zip(&buf) {
+            assert!((*x - *y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_sizes() {
+        assert!(FftPlan::new(12).is_err());
+        let plan = FftPlan::new(8).unwrap();
+        let mut short = vec![Iq::ZERO; 4];
+        assert!(plan.forward(&mut short).is_err());
+        assert!(plan.inverse(&mut short).is_err());
+    }
+
+    #[test]
+    fn plan_handles_degenerate_lengths() {
+        let p0 = FftPlan::new(0).unwrap();
+        let mut empty: Vec<Iq> = Vec::new();
+        p0.forward(&mut empty).unwrap();
+        p0.inverse(&mut empty).unwrap();
+        let p1 = FftPlan::new(1).unwrap();
+        let mut one = vec![Iq::new(2.0, -3.0)];
+        p1.forward(&mut one).unwrap();
+        p1.inverse(&mut one).unwrap();
+        assert!((one[0] - Iq::new(2.0, -3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_save_equals_direct_across_lengths() {
+        for &(n, l) in &[(40usize, 7usize), (64, 64), (65, 64), (300, 31), (1000, 248), (129, 128)] {
+            let samples = test_signal(n);
+            let reference = test_reference(l);
+            let xc = SlidingCorrelator::new(&reference);
+            let fft = xc.correlate_iq(&samples);
+            let direct = direct_sliding(&samples, &reference);
+            assert_eq!(fft.len(), direct.len(), "n={n} l={l}");
+            for (i, (a, b)) in fft.iter().zip(&direct).enumerate() {
+                assert!(
+                    (*a - *b).abs() < 1e-9,
+                    "n={n} l={l} lag {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_window_yields_empty() {
+        let xc = SlidingCorrelator::new(&test_reference(16));
+        assert!(xc.correlate_iq(&test_signal(15)).is_empty());
+        assert!(xc.correlate_real(&vec![0.0; 3]).is_empty());
+    }
+
+    #[test]
+    fn real_correlation_matches_iq_path() {
+        let reference = test_reference(24);
+        let series: Vec<f64> = (0..200).map(|i| (0.17 * i as f64).sin().abs()).collect();
+        let xc = SlidingCorrelator::new(&reference);
+        let real = xc.correlate_real(&series);
+        for (off, r) in real.iter().enumerate() {
+            let direct: f64 = series[off..off + 24]
+                .iter()
+                .zip(&reference)
+                .map(|(s, c)| s * c)
+                .sum();
+            assert!((r - direct).abs() < 1e-9, "lag {off}");
+        }
+    }
+
+    #[test]
+    fn running_energy_matches_naive() {
+        let samples = test_signal(97);
+        let re = RunningEnergy::new(&samples);
+        assert_eq!(re.len(), 97);
+        for &(off, len) in &[(0usize, 97usize), (3, 10), (90, 7), (50, 0)] {
+            let seg = &samples[off..off + len];
+            let power: f64 = seg.iter().map(|s| s.power()).sum();
+            let abs: f64 = seg.iter().map(|s| s.abs()).sum();
+            assert!((re.power(off, len) - power).abs() < 1e-9);
+            assert!((re.abs_sum(off, len) - abs).abs() < 1e-9);
+            let mean = if len == 0 { 0.0 } else { abs / len as f64 };
+            let centered: f64 = seg.iter().map(|s| (s.abs() - mean).powi(2)).sum();
+            assert!((re.centered_energy(off, len) - centered).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn running_energy_zero_window_is_zero() {
+        let re = RunningEnergy::new(&[Iq::ZERO; 32]);
+        assert_eq!(re.power(4, 10), 0.0);
+        assert_eq!(re.centered_energy(4, 10), 0.0);
+        assert_eq!(re.mean_abs(0, 32), 0.0);
+        let empty = RunningEnergy::new(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn centered_energy_never_negative() {
+        // A constant envelope has zero mean-removed energy; rounding must
+        // not drive the clamped value below zero.
+        let samples = vec![Iq::new(0.3, 0.4); 500];
+        let re = RunningEnergy::new(&samples);
+        for off in 0..400 {
+            let e = re.centered_energy(off, 100);
+            assert!(e >= 0.0 && e < 1e-9, "off {off}: {e}");
+        }
+    }
+}

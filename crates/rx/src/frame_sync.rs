@@ -7,6 +7,7 @@
 //! to user detection.
 
 use cbma_dsp::energy::{EnergyDetector, EnergyEdge};
+use cbma_dsp::xcorr::RunningEnergy;
 use cbma_types::units::Db;
 use cbma_types::Iq;
 
@@ -75,13 +76,15 @@ impl FrameSync {
         if edges.is_empty() {
             return None;
         }
+        // Prefix sums make each edge's post-window mean power an O(1)
+        // lookup; post_ratio is evaluated twice per edge below.
+        let running = RunningEnergy::new(samples);
         let post_ratio = |e: &EnergyEdge| -> f64 {
             let end = (e.index + self.window).min(samples.len());
             if end <= e.index {
                 return 0.0;
             }
-            let mean: f64 = samples[e.index..end].iter().map(|s| s.power()).sum::<f64>()
-                / (end - e.index) as f64;
+            let mean = running.power(e.index, end - e.index) / (end - e.index) as f64;
             if e.baseline <= 0.0 {
                 // A rise over a perfectly silent floor is maximally
                 // significant (synthetic noise-free captures).

@@ -36,4 +36,4 @@ pub use decoder::{DecodeOutcome, Decoder, DecoderKind};
 pub use downlink::AckWire;
 pub use frame_sync::FrameSync;
 pub use receiver::{Receiver, ReceiverConfig, RxReport};
-pub use user_detect::{DetectedUser, UserDetector};
+pub use user_detect::{CorrelationPath, DetectedUser, UserDetector, FFT_LAG_CROSSOVER};

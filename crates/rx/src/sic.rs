@@ -17,6 +17,7 @@
 
 use cbma_codes::PnCode;
 use cbma_dsp::resample::upsample_repeat;
+use cbma_dsp::xcorr::RunningEnergy;
 use cbma_tag::encoder::spread;
 use cbma_tag::frame::Frame;
 use cbma_tag::phy::PhyProfile;
@@ -42,6 +43,9 @@ pub fn reconstruct_envelope(frame: &Frame, code: &PnCode, phy: &PhyProfile) -> V
 /// Returns the mean cancelled power per affected sample (diagnostic).
 pub fn cancel_user(samples: &mut [Iq], start: usize, envelope: &[f64], window: usize) -> f64 {
     assert!(window > 0, "window must be non-zero");
+    // One prefix-sum pass over the envelope gives every window's ⟨e, e⟩
+    // in O(1) instead of a per-window summation.
+    let env_energy = RunningEnergy::from_real(envelope);
     let mut cancelled_power = 0.0;
     let mut affected = 0usize;
     let mut pos = 0usize;
@@ -55,7 +59,7 @@ pub fn cancel_user(samples: &mut [Iq], start: usize, envelope: &[f64], window: u
         let seg_env = &envelope[pos..pos + (s_hi - s_lo)];
         let seg = &mut samples[s_lo..s_hi];
 
-        let energy: f64 = seg_env.iter().map(|e| e * e).sum();
+        let energy = env_energy.power(pos, s_hi - s_lo);
         if energy > 0.0 {
             let mut corr = Iq::ZERO;
             for (s, &e) in seg.iter().zip(seg_env) {

@@ -14,28 +14,77 @@
 //! asynchronous, each detected user gets its own alignment offset, and the
 //! complex correlation at the peak doubles as the channel-gain estimate
 //! the decoder needs for coherent bit decisions.
+//!
+//! # Computational structure
+//!
+//! The sliding correlation is the receiver's dominant cost. The detector
+//! precomputes one [`SlidingCorrelator`] (cached reference spectrum +
+//! overlap-save FFT plan) per code at construction, and
+//! [`UserDetector::detect_candidates`] evaluates the full correlation
+//! profile in O(N log B) per code instead of O(lags × ref_len). Per-lag
+//! segment energies come from a single [`RunningEnergy`] prefix sum over
+//! the window (O(1) per lag instead of O(ref_len)). Short windows — fewer
+//! than [`FFT_LAG_CROSSOVER`] lags — stay on the direct time-domain path,
+//! which is cheaper below the FFT's block overhead; both paths agree
+//! within 1e-9 (see `tests/detect_equivalence.rs`).
 
 use cbma_codes::PnCode;
-use cbma_dsp::correlate::correlate_iq_bipolar;
+use cbma_dsp::correlate::{correlate_iq_bipolar, dot};
 use cbma_dsp::resample::upsample_repeat;
+use cbma_dsp::xcorr::{RunningEnergy, SlidingCorrelator};
 use cbma_tag::frame::preamble_pattern;
 use cbma_tag::phy::PhyProfile;
 use cbma_types::Iq;
 
 use crate::decoder::DecoderKind;
 
+/// Minimum number of candidate lags for which the overlap-save FFT path
+/// beats the direct time-domain path at paper-default reference lengths
+/// (≈2 k samples). Below this the window is so short that the FFTs of the
+/// correlator's block cost more than the handful of direct dot products
+/// (direct ≈ lags·ref_len mults vs FFT ≈ 3·B·log₂B for a single compact
+/// block, break-even near lags ≈ 3·B·log₂B / ref_len ≈ 70 at B = 4096,
+/// L = 2048). Measured by the `user_detect` cases of the `bench_summary`
+/// runner in `cbma-bench` (release build): at the paper-default search
+/// window — 603 lags, 10 codes — the FFT path measures ≈6× faster than
+/// direct. 64 is a conservative round-down that is also safe for the
+/// short references of low-preamble profiles.
+pub const FFT_LAG_CROSSOVER: usize = 64;
+
+/// Which sliding-correlation backend [`UserDetector::detect_candidates_with`]
+/// uses to evaluate the per-lag correlation profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorrelationPath {
+    /// Per code: FFT when the window offers at least
+    /// [`FFT_LAG_CROSSOVER`] lags, direct otherwise.
+    #[default]
+    Auto,
+    /// Always the O(lags × ref_len) time-domain path.
+    Direct,
+    /// Always the overlap-save FFT engine.
+    Fft,
+}
+
 /// Correlation of the mean-removed envelope of `seg` against `reference`,
 /// plus the mean-removed envelope's energy (for normalization).
+///
+/// Single fused pass: Σ(|s|−mean)·r = Σ|s|·r − mean·Σr and
+/// Σ(|s|−mean)² = Σ|s|² − n·mean², so one traversal accumulating
+/// (Σ|s|, Σ|s|², Σ|s|·r, Σr) replaces the old mean pass + correlation
+/// pass.
 fn envelope_correlation(seg: &[Iq], reference: &[f64]) -> (f64, f64) {
     let n = seg.len() as f64;
-    let mean = seg.iter().map(|s| s.abs()).sum::<f64>() / n;
-    let mut corr = 0.0;
-    let mut energy = 0.0;
+    let (mut sum_abs, mut sum_sq, mut dot_sr, mut ref_sum) = (0.0, 0.0, 0.0, 0.0);
     for (s, &r) in seg.iter().zip(reference) {
-        let e = s.abs() - mean;
-        corr += e * r;
-        energy += e * e;
+        let a = s.abs();
+        sum_abs += a;
+        sum_sq += a * a;
+        dot_sr += a * r;
+        ref_sum += r;
     }
+    let mean = sum_abs / n;
+    let corr = dot_sr - mean * ref_sum;
+    let energy = (sum_sq - n * mean * mean).max(0.0);
     (corr, energy)
 }
 
@@ -58,6 +107,13 @@ pub struct DetectedUser {
 pub struct UserDetector {
     /// Bipolar spread-preamble reference per code, at sample rate.
     references: Vec<Vec<f64>>,
+    /// Overlap-save FFT correlator per code, with the reference's
+    /// conjugate spectrum cached at construction.
+    correlators: Vec<SlidingCorrelator>,
+    /// Σr² per code, precomputed for the normalization denominator.
+    ref_energy: Vec<f64>,
+    /// Σr per code, precomputed for the envelope mean correction.
+    ref_sum: Vec<f64>,
     /// Per-code balance-corrected correlation scale (see
     /// [`UserDetector::detect_in`]).
     gain_scale: Vec<f64>,
@@ -98,6 +154,9 @@ impl UserDetector {
         let spc = phy.samples_per_chip();
         let preamble = preamble_pattern(phy.preamble_bits);
         let mut references = Vec::with_capacity(codes.len());
+        let mut correlators = Vec::with_capacity(codes.len());
+        let mut ref_energy = Vec::with_capacity(codes.len());
+        let mut ref_sum = Vec::with_capacity(codes.len());
         let mut gain_scale = Vec::with_capacity(codes.len());
         for code in codes {
             let mut chips: Vec<f64> = Vec::with_capacity(preamble.len() * code.len());
@@ -115,10 +174,16 @@ impl UserDetector {
             let sum: f64 = reference.iter().sum();
             let n = reference.len() as f64;
             gain_scale.push((n + sum) / 2.0);
+            correlators.push(SlidingCorrelator::new(&reference));
+            ref_energy.push(reference.iter().map(|r| r * r).sum());
+            ref_sum.push(sum);
             references.push(reference);
         }
         UserDetector {
             references,
+            correlators,
+            ref_energy,
+            ref_sum,
             gain_scale,
             threshold,
             samples_per_chip: spc,
@@ -155,31 +220,95 @@ impl UserDetector {
         window_origin: usize,
         max_candidates: usize,
     ) -> Vec<Vec<DetectedUser>> {
+        self.detect_candidates_with(window, window_origin, max_candidates, CorrelationPath::Auto)
+    }
+
+    /// [`UserDetector::detect_candidates`] with an explicit correlation
+    /// backend. `Auto` (the default path) picks per code: FFT when the
+    /// window offers at least [`FFT_LAG_CROSSOVER`] candidate lags, direct
+    /// otherwise. Both backends produce identical detections (offsets and
+    /// gains exactly, correlations within FFT rounding ≈1e-12); `Direct`
+    /// and `Fft` exist for equivalence tests and benchmarks.
+    pub fn detect_candidates_with(
+        &self,
+        window: &[Iq],
+        window_origin: usize,
+        max_candidates: usize,
+        path: CorrelationPath,
+    ) -> Vec<Vec<DetectedUser>> {
+        // One prefix-sum pass over the window serves every code's per-lag
+        // normalization: Σ|s|² for the coherent denominator, Σ|s| (mean)
+        // and the mean-removed energy for the envelope statistic.
+        let running = RunningEnergy::new(window);
+        // Envelope mode correlates the |s| magnitude series; materialize
+        // it once and share it across codes.
+        let mags: Option<Vec<f64>> = match self.kind {
+            DecoderKind::Envelope => Some(window.iter().map(|s| s.abs()).collect()),
+            DecoderKind::Coherent => None,
+        };
         let mut all = Vec::with_capacity(self.references.len());
         for (idx, reference) in self.references.iter().enumerate() {
             if reference.len() > window.len() {
                 all.push(Vec::new());
                 continue;
             }
+            let len = reference.len();
+            let lags = window.len() - len + 1;
+            let use_fft = match path {
+                CorrelationPath::Auto => lags >= FFT_LAG_CROSSOVER,
+                CorrelationPath::Direct => false,
+                CorrelationPath::Fft => true,
+            };
+            let ref_energy = self.ref_energy[idx];
+            let ref_sum = self.ref_sum[idx];
+            // Raw (unnormalized) decision statistic at every lag. Coherent
+            // mode takes |Σ s·r| (noncoherent magnitude of the complex
+            // correlation); envelope mode takes |Σ(|s|−mean)·r| =
+            // |Σ|s|·r − mean·Σr|, with the FFT supplying the Σ|s|·r term.
+            let raw: Vec<f64> = match (self.kind, use_fft) {
+                (DecoderKind::Coherent, false) => (0..lags)
+                    .map(|off| correlate_iq_bipolar(&window[off..off + len], reference).abs())
+                    .collect(),
+                (DecoderKind::Coherent, true) => self.correlators[idx]
+                    .correlate_iq(window)
+                    .into_iter()
+                    .map(|c| c.abs())
+                    .collect(),
+                (DecoderKind::Envelope, false) => {
+                    let mags = mags.as_deref().expect("envelope magnitudes");
+                    (0..lags)
+                        .map(|off| {
+                            let mean = running.mean_abs(off, len);
+                            (dot(&mags[off..off + len], reference) - mean * ref_sum).abs()
+                        })
+                        .collect()
+                }
+                (DecoderKind::Envelope, true) => {
+                    let mags = mags.as_deref().expect("envelope magnitudes");
+                    self.correlators[idx]
+                        .correlate_real(mags)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(off, d)| (d - running.mean_abs(off, len) * ref_sum).abs())
+                        .collect()
+                }
+            };
+            debug_assert_eq!(raw.len(), lags);
             // Sliding normalized correlation: normalize by the reference
-            // energy and the windowed signal energy.
-            let ref_energy: f64 = reference.iter().map(|r| r * r).sum();
-            let mut profile = Vec::with_capacity(window.len() - reference.len() + 1);
-            for off in 0..=window.len() - reference.len() {
-                let seg = &window[off..off + reference.len()];
-                let (c, seg_energy) = match self.kind {
-                    DecoderKind::Coherent => (
-                        correlate_iq_bipolar(seg, reference).abs(),
-                        seg.iter().map(|s| s.power()).sum(),
-                    ),
-                    DecoderKind::Envelope => {
-                        let (corr, energy) = envelope_correlation(seg, reference);
-                        (corr.abs(), energy)
-                    }
-                };
-                let denom = (seg_energy * ref_energy).sqrt();
-                profile.push(if denom > 0.0 { c / denom } else { 0.0 });
-            }
+            // energy and the per-lag windowed signal energy (O(1) prefix
+            // lookups).
+            let profile: Vec<f64> = raw
+                .into_iter()
+                .enumerate()
+                .map(|(off, c)| {
+                    let seg_energy = match self.kind {
+                        DecoderKind::Coherent => running.power(off, len),
+                        DecoderKind::Envelope => running.centered_energy(off, len),
+                    };
+                    let denom = (seg_energy * ref_energy).sqrt();
+                    if denom > 0.0 { c / denom } else { 0.0 }
+                })
+                .collect();
             // Local maxima above threshold, non-maximum-suppressed over a
             // ±one-chip neighbourhood (candidates one chip apart are
             // genuinely different alignments the decoder must test),
@@ -238,7 +367,7 @@ impl UserDetector {
             return None;
         }
         let seg = &samples[start..start + reference.len()];
-        let ref_energy: f64 = reference.iter().map(|r| r * r).sum();
+        let ref_energy = self.ref_energy[code_index];
         let (c, seg_energy) = match self.kind {
             DecoderKind::Coherent => (
                 correlate_iq_bipolar(seg, reference).abs(),

@@ -1,0 +1,182 @@
+//! Equivalence of the detector's direct and FFT correlation backends.
+//!
+//! The overlap-save engine must be a pure optimization: across random
+//! PHY profiles, code counts, window contents and window lengths
+//! (including windows shorter than the reference), `Direct`, `Fft` and
+//! `Auto` must report the same candidates — identical code indices and
+//! start offsets, correlations within 1e-9, channel gains within 1e-9.
+
+use cbma_codes::{CodeFamily, GoldFamily, PnCode};
+use cbma_rx::decoder::DecoderKind;
+use cbma_rx::user_detect::{CorrelationPath, DetectedUser, UserDetector};
+use cbma_tag::encoder::spread;
+use cbma_tag::frame::preamble_pattern;
+use cbma_tag::modulator::ook_envelope;
+use cbma_tag::phy::PhyProfile;
+use cbma_types::units::Hertz;
+use cbma_types::Iq;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A profile with `spc` samples per chip and the given preamble length.
+fn phy(spc: usize, preamble_bits: usize) -> PhyProfile {
+    PhyProfile {
+        chip_rate: Hertz::from_mhz(1.0),
+        sample_rate: Hertz::from_mhz(spc as f64),
+        preamble_bits,
+    }
+}
+
+/// The preamble-led transmit envelope of one code, scaled by a complex
+/// gain — what the detector's reference is built to match.
+fn user_signal(code: &PnCode, p: &PhyProfile, gain: Iq) -> Vec<Iq> {
+    let bits = preamble_pattern(p.preamble_bits);
+    let env = ook_envelope(&spread(&bits, code), p.samples_per_chip());
+    env.iter().map(|&e| gain.scale(e)).collect()
+}
+
+/// Asserts the two nested candidate lists are the same detections.
+fn assert_same(
+    a: &[Vec<DetectedUser>],
+    b: &[Vec<DetectedUser>],
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len(), "{}: code-list lengths differ", label);
+    for (ci, (ca, cb)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(
+            ca.len(),
+            cb.len(),
+            "{}: code {} candidate counts {} vs {}",
+            label,
+            ci,
+            ca.len(),
+            cb.len()
+        );
+        for (ua, ub) in ca.iter().zip(cb) {
+            prop_assert_eq!(ua.code_index, ub.code_index, "{}: code index", label);
+            prop_assert_eq!(ua.start, ub.start, "{}: start offset (code {})", label, ci);
+            prop_assert!(
+                (ua.correlation - ub.correlation).abs() < 1e-9,
+                "{}: code {} corr {} vs {}",
+                label,
+                ci,
+                ua.correlation,
+                ub.correlation
+            );
+            prop_assert!(
+                (ua.channel_gain - ub.channel_gain).abs() < 1e-9,
+                "{}: code {} gain {} vs {}",
+                label,
+                ci,
+                ua.channel_gain,
+                ub.channel_gain
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Direct, FFT and Auto backends agree on random mixtures of users
+    /// and noise across random PHY profiles and window lengths — the
+    /// window is sometimes shorter than the reference (every code must
+    /// then report no candidates on both paths).
+    #[test]
+    fn fft_and_direct_paths_detect_identically(
+        seed in 0u64..1 << 48,
+        num_codes in 1usize..=6,
+        spc in 1usize..=8,
+        preamble_bits in 1usize..=4,
+        coherent in 0u8..2,
+        slack in 0isize..900,
+    ) {
+        let p = phy(spc, preamble_bits);
+        let codes = GoldFamily::new(5).unwrap().codes(num_codes).unwrap();
+        let kind = if coherent == 0 { DecoderKind::Coherent } else { DecoderKind::Envelope };
+        let det = UserDetector::with_kind(&codes, &p, 0.2, kind);
+        let ref_len = det.reference_len(0);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Window length from just below the reference (empty results) to
+        // well past it (hundreds of candidate lags, exercising several
+        // overlap-save blocks and the Auto crossover on both sides).
+        let wlen = (ref_len as isize + slack - 40).max(1) as usize;
+        // Noise floor breaks ties between near-equal sidelobe peaks so
+        // both paths rank peaks identically despite ~1e-12 FFT rounding.
+        let mut window: Vec<Iq> = (0..wlen)
+            .map(|_| Iq::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5).scale(0.02))
+            .collect();
+        // Up to two embedded users at random offsets, phases, amplitudes.
+        for _ in 0..rng.gen_range(0usize..3) {
+            let code = &codes[rng.gen_range(0..codes.len())];
+            let sig = user_signal(code, &p, Iq::from_polar(rng.gen_range(0.2..1.5), rng.gen_range(0.0..6.28)));
+            if wlen > 8 {
+                let at = rng.gen_range(0..wlen - 8);
+                for (i, s) in sig.into_iter().enumerate() {
+                    if at + i < wlen {
+                        window[at + i] += s;
+                    }
+                }
+            }
+        }
+
+        let direct = det.detect_candidates_with(&window, 13, 4, CorrelationPath::Direct);
+        let fft = det.detect_candidates_with(&window, 13, 4, CorrelationPath::Fft);
+        let auto = det.detect_candidates_with(&window, 13, 4, CorrelationPath::Auto);
+        assert_same(&direct, &fft, "direct vs fft")?;
+        assert_same(&direct, &auto, "direct vs auto")?;
+        if wlen < ref_len {
+            prop_assert!(direct.iter().all(Vec::is_empty));
+        }
+        // The default entry point is the Auto path.
+        let default = det.detect_candidates(&window, 13, 4);
+        assert_same(&auto, &default, "auto vs default")?;
+    }
+}
+
+/// Regression: an all-zero window has zero segment energy at every lag;
+/// the denominator guard must yield a clean "no candidates" on both
+/// backends instead of NaN correlations.
+#[test]
+fn all_zero_window_yields_no_candidates_on_both_paths() {
+    let p = phy(4, 2);
+    let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+    for kind in [DecoderKind::Coherent, DecoderKind::Envelope] {
+        let det = UserDetector::with_kind(&codes, &p, 0.2, kind);
+        let window = vec![Iq::ZERO; det.reference_len(0) + 200];
+        for path in [
+            CorrelationPath::Direct,
+            CorrelationPath::Fft,
+            CorrelationPath::Auto,
+        ] {
+            let out = det.detect_candidates_with(&window, 0, 4, path);
+            assert_eq!(out.len(), 3);
+            assert!(
+                out.iter().all(Vec::is_empty),
+                "{kind:?}/{path:?} produced candidates on silence"
+            );
+        }
+    }
+}
+
+/// Regression: a window shorter than the reference reports one empty
+/// candidate list per code on every backend.
+#[test]
+fn window_shorter_than_reference_is_empty_on_both_paths() {
+    let p = phy(8, 4);
+    let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+    let det = UserDetector::new(&codes, &p, 0.3);
+    let window = vec![Iq::ONE; det.reference_len(0) - 1];
+    for path in [
+        CorrelationPath::Direct,
+        CorrelationPath::Fft,
+        CorrelationPath::Auto,
+    ] {
+        let out = det.detect_candidates_with(&window, 0, 2, path);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(Vec::is_empty));
+    }
+}

@@ -96,7 +96,7 @@ impl Engine {
                 // Tags boot at an arbitrary impedance state — the unequal
                 // backscatter powers this creates are exactly the near-far
                 // condition Algorithm 1 then has to fix (§IV, §V-B).
-                let state = cbma_tag::ImpedanceState::ALL[boot_rng.gen_range(0..4)];
+                let state = cbma_tag::ImpedanceState::ALL[boot_rng.gen_range(0..4usize)];
                 tag.set_impedance(state);
                 tag
             })

@@ -4,10 +4,15 @@
 //! length, bitrate, tag count, delay, …) of independent simulation runs.
 //! [`parallel_sweep`] fans the points out over scoped worker threads
 //! (crossbeam) and returns results in input order.
+//!
+//! Work distribution is an atomic work-stealing counter and result
+//! storage is lock-free: each worker accumulates `(index, result)` pairs
+//! in a thread-local vector that is handed back when the worker's thread
+//! is joined, then the pairs are scattered into the output in one pass.
+//! No mutex is taken per result, so cheap per-point closures don't
+//! serialize on the collection.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 
 /// Maps `f` over `params` in parallel, preserving order.
 ///
@@ -32,24 +37,38 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&params[i]);
-                results.lock()[i] = Some(r);
-            });
-        }
+    let per_worker: Vec<Vec<(usize, R)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    // Local accumulation only — no shared lock on the
+                    // result path.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&params[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     })
-    .expect("sweep worker panicked");
+    .expect("sweep scope failed");
 
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(results[i].is_none(), "index {i} computed twice");
+        results[i] = Some(r);
+    }
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every index was computed"))
         .collect()
