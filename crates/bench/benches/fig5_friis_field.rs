@@ -21,8 +21,8 @@ fn main() {
 
     // Header row of x coordinates.
     print!("{:>7}", "y\\x");
-    for ix in 0..nx {
-        print!("{:>7.2}", field[ix].0.x);
+    for cell in field.iter().take(nx) {
+        print!("{:>7.2}", cell.0.x);
     }
     println!();
     for iy in (0..ny).rev() {

@@ -140,4 +140,88 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_user_detect.json", &json).expect("write BENCH_user_detect.json");
     println!("wrote BENCH_user_detect.json");
+
+    write_pipeline_obs();
+}
+
+/// Runs a short paper-default deployment with full observability attached
+/// (metrics registry + recording sink) and exports the merged snapshot as
+/// `BENCH_pipeline_obs.json`: per-stage timing histograms (`cbma.rx.stage.*`,
+/// `cbma.sim.round_ns`), domain counters and the structured round-event
+/// stream, so CI can diff pipeline behaviour — not just speed.
+fn write_pipeline_obs() {
+    use cbma::obs::{FieldValue, MetricsRegistry, RecordingSink};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    const ROUNDS: usize = 32;
+
+    let registry = MetricsRegistry::new();
+    let sink = Arc::new(RecordingSink::new());
+    let scenario = Scenario::paper_default(vec![
+        Point::new(0.0, 0.35),
+        Point::new(0.25, -0.40),
+        Point::new(-0.30, 0.45),
+        Point::new(0.40, 0.55),
+    ])
+    .with_seed(7);
+    let mut engine = Engine::new(scenario).expect("paper-default scenario is valid");
+    engine.attach_observability(&registry);
+    engine.set_sink(sink.clone());
+    let stats = engine.run_rounds(ROUNDS);
+
+    let snapshot = registry.snapshot();
+    let metrics_json = snapshot.to_json();
+    // The artifact must survive a parse — fail the bench run loudly if the
+    // exporter ever regresses.
+    let reparsed = cbma::obs::Snapshot::from_json(&metrics_json)
+        .expect("snapshot JSON must round-trip");
+    assert_eq!(reparsed, snapshot, "snapshot JSON round-trip drifted");
+
+    // Event stream digest: per-name counts plus per-round delivery sizes.
+    let events = sink.take();
+    let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+    let mut delivered_per_round: Vec<u64> = Vec::new();
+    for event in &events {
+        *by_name.entry(event.name.clone()).or_default() += 1;
+        if event.name == "cbma.sim.round" {
+            if let Some(FieldValue::List(d)) = event.field("delivered") {
+                delivered_per_round.push(d.len() as u64);
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(json, "  \"tags\": 4,");
+    let _ = writeln!(json, "  \"fer\": {:.4},", stats.fer());
+    let _ = writeln!(json, "  \"metric_count\": {},", snapshot.metric_count());
+    let _ = writeln!(json, "  \"events_recorded\": {},", events.len());
+    json.push_str("  \"events_by_name\": {\n");
+    for (i, (name, count)) in by_name.iter().enumerate() {
+        let comma = if i + 1 == by_name.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {count}{comma}");
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"delivered_per_round\": {:?},",
+        delivered_per_round
+    );
+    // The full metrics snapshot, re-indented two levels into the artifact.
+    json.push_str("  \"metrics\": ");
+    for (i, line) in metrics_json.lines().enumerate() {
+        if i > 0 {
+            json.push_str("\n  ");
+        }
+        json.push_str(line);
+    }
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_pipeline_obs.json", &json).expect("write BENCH_pipeline_obs.json");
+    println!(
+        "wrote BENCH_pipeline_obs.json ({} metrics, {} events, FER {:.2}%)",
+        snapshot.metric_count(),
+        events.len(),
+        stats.fer() * 100.0
+    );
 }

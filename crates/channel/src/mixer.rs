@@ -127,7 +127,7 @@ impl Mixer {
                 .iter()
                 .map(|&e| {
                     let sample = phasor.scale(e * sig.amplitude);
-                    phasor = phasor * step;
+                    phasor *= step;
                     sample
                 })
                 .collect();

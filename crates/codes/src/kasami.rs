@@ -35,7 +35,7 @@ impl KasamiFamily {
     /// Returns [`CbmaError::CodeUnavailable`] for odd or unsupported
     /// degrees.
     pub fn new(degree: u32) -> Result<KasamiFamily> {
-        if degree % 2 != 0 || !(6..=10).contains(&degree) {
+        if !degree.is_multiple_of(2) || !(6..=10).contains(&degree) {
             return Err(CbmaError::CodeUnavailable {
                 family: "kasami",
                 reason: format!("degree must be even and in 6..=10, got {degree}"),

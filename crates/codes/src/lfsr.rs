@@ -32,7 +32,7 @@ impl Lfsr {
     /// or does not fit in `degree` bits.
     pub fn new(polynomial: u64, state: u64) -> Result<Lfsr> {
         let degree = 63 - polynomial.leading_zeros();
-        if degree < 2 || degree > 24 {
+        if !(2..=24).contains(&degree) {
             return Err(CbmaError::InvalidConfig(format!(
                 "lfsr degree must be in 2..=24, polynomial implies {degree}"
             )));

@@ -18,6 +18,7 @@
 //! | [`rx`] | `cbma-rx` | frame sync, user detection, decoding, ACKs |
 //! | [`mac`] | `cbma-mac` | Algorithm 1, node selection, TDMA/FSA baselines |
 //! | [`sim`] | `cbma-sim` | end-to-end engine, adaptation, experiments |
+//! | [`obs`] | `cbma-obs` | metrics, stage timers, event sinks, JSON snapshots |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use cbma_channel as channel;
 pub use cbma_codes as codes;
 pub use cbma_dsp as dsp;
 pub use cbma_mac as mac;
+pub use cbma_obs as obs;
 pub use cbma_rx as rx;
 pub use cbma_sim as sim;
 pub use cbma_tag as tag;

@@ -42,7 +42,7 @@ impl Fir {
     /// Returns [`CbmaError::InvalidConfig`] for an even/zero tap count or
     /// an out-of-range cutoff.
     pub fn low_pass(cutoff: f64, n_taps: usize, window: WindowKind) -> Result<Fir> {
-        if n_taps == 0 || n_taps % 2 == 0 {
+        if n_taps == 0 || n_taps.is_multiple_of(2) {
             return Err(CbmaError::InvalidConfig(format!(
                 "tap count must be odd and non-zero, got {n_taps}"
             )));

@@ -82,7 +82,7 @@ pub fn fractional_delay(input: &[Iq], delay: f64) -> Vec<Iq> {
         // out[i] interpolates between input[i - int_part] (weight 1-frac)
         // and input[i - int_part - 1] (weight frac).
         let cur = input[i - int_part];
-        let prev = if i >= int_part + 1 {
+        let prev = if i > int_part {
             input[i - int_part - 1]
         } else {
             Iq::ZERO

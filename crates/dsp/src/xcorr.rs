@@ -390,7 +390,7 @@ impl SlidingCorrelator {
             }
             block.plan.forward(&mut buf).expect("sized to plan");
             for (x, r) in buf.iter_mut().zip(&block.ref_conj_spec) {
-                *x = *x * *r;
+                *x *= *r;
             }
             block.plan.inverse(&mut buf).expect("sized to plan");
             let valid = (lags - pos).min(block.block_out);
@@ -495,7 +495,7 @@ mod tests {
     fn short_window_yields_empty() {
         let xc = SlidingCorrelator::new(&test_reference(16));
         assert!(xc.correlate_iq(&test_signal(15)).is_empty());
-        assert!(xc.correlate_real(&vec![0.0; 3]).is_empty());
+        assert!(xc.correlate_real(&[0.0; 3]).is_empty());
     }
 
     #[test]
@@ -549,7 +549,7 @@ mod tests {
         let re = RunningEnergy::new(&samples);
         for off in 0..400 {
             let e = re.centered_energy(off, 100);
-            assert!(e >= 0.0 && e < 1e-9, "off {off}: {e}");
+            assert!((0.0..1e-9).contains(&e), "off {off}: {e}");
         }
     }
 }

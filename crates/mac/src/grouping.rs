@@ -140,7 +140,7 @@ mod tests {
     fn round_robin_covers_everyone_within_size() {
         let plan = GroupPlan::round_robin(23, 10);
         assert_eq!(plan.len(), 3);
-        let mut seen = vec![false; 23];
+        let mut seen = [false; 23];
         for g in plan.groups() {
             assert!(g.len() <= 10);
             for &t in g {

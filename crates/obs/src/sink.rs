@@ -1,0 +1,233 @@
+//! Pluggable structured-event sinks.
+//!
+//! Instrumented code guards event construction with [`Sink::enabled`]:
+//!
+//! ```
+//! use cbma_obs::{Event, NoopSink, Sink};
+//!
+//! let sink: &dyn Sink = &NoopSink;
+//! if sink.enabled() {
+//!     sink.record(Event::new("cbma.sim.round").with("round", 3u64));
+//! }
+//! ```
+//!
+//! With [`NoopSink`] the guard is one virtual call returning `false` and
+//! no event is ever allocated — the overhead guarantee the receiver and
+//! engine rely on. [`RecordingSink`] keeps every event in memory for
+//! tests, examples and the bench artifacts.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// One typed field value on an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, indices, nanoseconds).
+    U64(u64),
+    /// A float (rates, correlations, energies).
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string label.
+    Str(String),
+    /// A list of indices (active sets, delivered sets).
+    List(Vec<u64>),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+impl From<&[usize]> for FieldValue {
+    fn from(v: &[usize]) -> FieldValue {
+        FieldValue::List(v.iter().map(|&i| i as u64).collect())
+    }
+}
+impl From<&Vec<usize>> for FieldValue {
+    fn from(v: &Vec<usize>) -> FieldValue {
+        FieldValue::from(v.as_slice())
+    }
+}
+
+/// One structured event: a dotted name plus ordered key/value fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name, e.g. `cbma.sim.round`.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// A new event with no fields.
+    pub fn new(name: impl Into<String>) -> Event {
+        Event {
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field append.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> Event {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// The first field with this key, if any.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Convenience: the field as `u64` if present and numeric.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            FieldValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A consumer of structured events.
+///
+/// Implementations must be cheap to call and thread-safe; `record` takes
+/// `&self` so one sink can be shared across sweep workers.
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// Whether this sink wants events at all. Call sites must guard event
+    /// construction with this so disabled sinks cost nothing.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&self, event: Event);
+}
+
+/// The default sink: drops everything, reports `enabled() == false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&self, _event: Event) {}
+}
+
+/// An in-memory sink for tests, examples and bench artifacts.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    /// An empty recording sink.
+    pub fn new() -> RecordingSink {
+        RecordingSink::default()
+    }
+
+    /// A copy of every event recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink poisoned").clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the recorded events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("sink poisoned"))
+    }
+}
+
+impl Sink for RecordingSink {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("sink poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.record(Event::new("dropped"));
+    }
+
+    #[test]
+    fn recording_sink_keeps_events_in_order() {
+        let sink = RecordingSink::new();
+        assert!(sink.is_empty());
+        sink.record(Event::new("a").with("x", 1u64));
+        sink.record(Event::new("b").with("ok", true));
+        assert_eq!(sink.len(), 2);
+        let events = sink.events();
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].field_u64("x"), Some(1));
+        assert_eq!(events[1].field("ok"), Some(&FieldValue::Bool(true)));
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn field_conversions_cover_domain_types() {
+        let active = vec![0usize, 3, 7];
+        let e = Event::new("cbma.sim.round")
+            .with("round", 5u64)
+            .with("fer", 0.25)
+            .with("detected", true)
+            .with("label", "paper")
+            .with("active", &active);
+        assert_eq!(e.field_u64("round"), Some(5));
+        assert_eq!(e.field("fer"), Some(&FieldValue::F64(0.25)));
+        assert_eq!(
+            e.field("active"),
+            Some(&FieldValue::List(vec![0, 3, 7]))
+        );
+        assert_eq!(e.field("missing"), None);
+        assert_eq!(e.field_u64("fer"), None, "typed accessor rejects floats");
+    }
+}

@@ -1,0 +1,96 @@
+//! Scoped stage spans over monotonic time.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A scoped span: started against a [`Histogram`], it records its elapsed
+/// **nanoseconds** when dropped, or explicitly via [`StageTimer::stop`]
+/// (which also returns the measurement).
+///
+/// Timing uses [`Instant`], the monotonic clock — wall-clock steps (NTP,
+/// suspend) cannot produce negative or wildly wrong spans.
+///
+/// # Examples
+///
+/// ```
+/// use cbma_obs::Histogram;
+///
+/// let hist = Histogram::new();
+/// {
+///     let _span = hist.time();
+///     // … stage work …
+/// } // recorded here
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StageTimer {
+    hist: Option<Histogram>,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Starts a span that will record into `hist`.
+    pub fn start(hist: Histogram) -> StageTimer {
+        StageTimer {
+            hist: Some(hist),
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far (the span keeps running).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Stops the span, records it, and returns the elapsed nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        if let Some(hist) = self.hist.take() {
+            hist.record(ns);
+        }
+        ns
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if let Some(hist) = self.hist.take() {
+            hist.record(self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let hist = Histogram::new();
+        {
+            let _span = hist.time();
+        }
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_once_and_returns_elapsed() {
+        let hist = Histogram::new();
+        let span = hist.time();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ns = span.stop(); // drop after stop must not double-record
+        assert!(ns >= 1_000_000, "measured {ns} ns");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), ns);
+    }
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let hist = Histogram::new();
+        let span = hist.time();
+        let a = span.elapsed_ns();
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -32,7 +32,10 @@
 //! # Ok::<(), cbma_types::CbmaError>(())
 //! ```
 
+use std::time::Instant;
+
 use cbma_codes::PnCode;
+use cbma_obs::{Counter, Histogram, MetricsRegistry};
 use cbma_tag::frame::Frame;
 use cbma_tag::phy::PhyProfile;
 use cbma_types::Iq;
@@ -93,6 +96,88 @@ pub struct DecodedUser {
     pub bits: Option<cbma_types::Bits>,
 }
 
+/// Per-capture pipeline telemetry: stage spans (monotonic, nanoseconds)
+/// and domain measurements, filled on every [`Receiver::receive`] call.
+///
+/// Stage spans are *cumulative over SIC re-runs*: when SIC re-runs the
+/// pipeline on a residual, the re-run's frame-sync/detect/decode time is
+/// added to the respective stage **and** covered by `sic_ns` (which times
+/// the whole cancellation loop), so `sic_ns` overlaps the other stages.
+///
+/// Equality ignores the wall-clock stage spans (`*_ns`): two receptions of
+/// the same buffer are *equal* when every deterministic output agrees, even
+/// though the scheduler never hands out identical nanosecond timings. This
+/// keeps `RxReport` equality meaningful for reproducibility tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RxTelemetry {
+    /// Time in the energy-edge search (frame synchronization).
+    pub frame_sync_ns: u64,
+    /// Time correlating code preambles (user detection).
+    pub user_detect_ns: u64,
+    /// Time decoding candidates, resolving aliases and probing.
+    pub decode_ns: u64,
+    /// Time in the whole SIC loop (reconstruction + cancellation +
+    /// pipeline re-runs); 0 when SIC is disabled or skipped.
+    pub sic_ns: u64,
+    /// Sync candidates that were decoded across all codes.
+    pub candidates_evaluated: usize,
+    /// Fine-alignment probe correlations attempted (phase 3).
+    pub probes_attempted: usize,
+    /// Valid decodes suppressed as cross-code aliases.
+    pub aliases_suppressed: usize,
+    /// Candidate decodes that did not yield a CRC-valid frame.
+    pub decode_failures: usize,
+    /// The strongest preamble correlation seen (0 when nothing was
+    /// detected).
+    pub peak_correlation: f64,
+    /// `peak_correlation` minus the detection threshold — the margin the
+    /// best user cleared §III-B's "predetermined threshold" by (negative
+    /// margins never occur: sub-threshold candidates are not reported).
+    pub peak_margin: f64,
+    /// SIC passes actually executed.
+    pub sic_iterations: usize,
+    /// Users recovered by SIC (decoded only after cancellation).
+    pub sic_recovered: usize,
+    /// Mean residual power per sample after the last cancellation pass
+    /// (0 when SIC never ran).
+    pub sic_residual_energy: f64,
+}
+
+impl PartialEq for RxTelemetry {
+    fn eq(&self, other: &RxTelemetry) -> bool {
+        // Deliberately skips frame_sync_ns / user_detect_ns / decode_ns /
+        // sic_ns: wall-clock spans are observability metadata, not part of
+        // the receiver's deterministic output.
+        self.candidates_evaluated == other.candidates_evaluated
+            && self.probes_attempted == other.probes_attempted
+            && self.aliases_suppressed == other.aliases_suppressed
+            && self.decode_failures == other.decode_failures
+            && self.peak_correlation == other.peak_correlation
+            && self.peak_margin == other.peak_margin
+            && self.sic_iterations == other.sic_iterations
+            && self.sic_recovered == other.sic_recovered
+            && self.sic_residual_energy == other.sic_residual_energy
+    }
+}
+
+impl RxTelemetry {
+    /// Folds a re-run's telemetry into this capture's totals (stage spans
+    /// and counts add; peak statistics keep the maximum).
+    fn absorb(&mut self, other: &RxTelemetry) {
+        self.frame_sync_ns += other.frame_sync_ns;
+        self.user_detect_ns += other.user_detect_ns;
+        self.decode_ns += other.decode_ns;
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.probes_attempted += other.probes_attempted;
+        self.aliases_suppressed += other.aliases_suppressed;
+        self.decode_failures += other.decode_failures;
+        if other.peak_correlation > self.peak_correlation {
+            self.peak_correlation = other.peak_correlation;
+            self.peak_margin = other.peak_margin;
+        }
+    }
+}
+
 /// The result of processing one captured buffer.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RxReport {
@@ -102,6 +187,8 @@ pub struct RxReport {
     pub users: Vec<DecodedUser>,
     /// The broadcast ACK (ids whose frames passed CRC).
     pub ack: AckMessage,
+    /// Per-stage spans and domain measurements for this capture.
+    pub telemetry: RxTelemetry,
 }
 
 impl RxReport {
@@ -120,6 +207,70 @@ impl RxReport {
     }
 }
 
+/// Pre-registered `cbma.rx.*` metric handles (lock-free atomics), bound
+/// once by [`Receiver::attach_metrics`] so the receive path never touches
+/// the registry lock.
+#[derive(Debug, Clone)]
+struct RxMetrics {
+    stage_frame_sync_ns: Histogram,
+    stage_user_detect_ns: Histogram,
+    stage_decode_ns: Histogram,
+    stage_sic_ns: Histogram,
+    peak_margin_milli: Histogram,
+    captures: Counter,
+    frames_detected: Counter,
+    candidates: Counter,
+    users_decoded: Counter,
+    decode_failures: Counter,
+    aliases_suppressed: Counter,
+    probes: Counter,
+    sic_recovered: Counter,
+}
+
+impl RxMetrics {
+    fn register(registry: &MetricsRegistry) -> RxMetrics {
+        RxMetrics {
+            stage_frame_sync_ns: registry.histogram("cbma.rx.stage.frame_sync_ns"),
+            stage_user_detect_ns: registry.histogram("cbma.rx.stage.user_detect_ns"),
+            stage_decode_ns: registry.histogram("cbma.rx.stage.decode_ns"),
+            stage_sic_ns: registry.histogram("cbma.rx.stage.sic_ns"),
+            peak_margin_milli: registry.histogram("cbma.rx.peak_margin_milli"),
+            captures: registry.counter("cbma.rx.captures"),
+            frames_detected: registry.counter("cbma.rx.frames_detected"),
+            candidates: registry.counter("cbma.rx.candidates"),
+            users_decoded: registry.counter("cbma.rx.users_decoded"),
+            decode_failures: registry.counter("cbma.rx.decode_failures"),
+            aliases_suppressed: registry.counter("cbma.rx.aliases_suppressed"),
+            probes: registry.counter("cbma.rx.probes"),
+            sic_recovered: registry.counter("cbma.rx.sic_recovered"),
+        }
+    }
+
+    /// One capture's telemetry into the registry (one call per receive).
+    fn record(&self, report: &RxReport) {
+        let t = &report.telemetry;
+        self.stage_frame_sync_ns.record(t.frame_sync_ns);
+        self.stage_user_detect_ns.record(t.user_detect_ns);
+        self.stage_decode_ns.record(t.decode_ns);
+        if t.sic_iterations > 0 {
+            self.stage_sic_ns.record(t.sic_ns);
+        }
+        self.captures.inc();
+        if report.frame_detected {
+            self.frames_detected.inc();
+            // Milli-units so the log₂ buckets resolve margins < 1.0.
+            self.peak_margin_milli
+                .record((t.peak_margin.max(0.0) * 1000.0) as u64);
+        }
+        self.candidates.add(t.candidates_evaluated as u64);
+        self.users_decoded.add(report.ack.len() as u64);
+        self.decode_failures.add(t.decode_failures as u64);
+        self.aliases_suppressed.add(t.aliases_suppressed as u64);
+        self.probes.add(t.probes_attempted as u64);
+        self.sic_recovered.add(t.sic_recovered as u64);
+    }
+}
+
 /// The CBMA receiver for one deployment's code set.
 #[derive(Debug)]
 pub struct Receiver {
@@ -133,6 +284,8 @@ pub struct Receiver {
     /// `0` chips radiates nothing until the run ends, so the energy edge
     /// fires that many chips *after* the frame start.
     leading_silence_chips: usize,
+    /// Registered metric handles, when observability is attached.
+    metrics: Option<RxMetrics>,
 }
 
 impl Receiver {
@@ -166,7 +319,19 @@ impl Receiver {
             detector,
             decoders,
             leading_silence_chips,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: every subsequent [`Receiver::receive`]
+    /// records its per-stage spans and domain counters under `cbma.rx.*`.
+    ///
+    /// Handles are resolved once here; the receive path itself only does
+    /// lock-free atomic adds. Without this call the receive path performs
+    /// no registry work at all (the per-report [`RxTelemetry`] is always
+    /// filled — it costs a handful of monotonic clock reads).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(RxMetrics::register(registry));
     }
 
     /// The PHY profile the receiver is configured for.
@@ -182,13 +347,25 @@ impl Receiver {
     }
 
     /// Processes one captured IQ buffer end to end, applying any
-    /// configured SIC passes.
+    /// configured SIC passes. The returned report carries per-stage
+    /// telemetry; when a registry is attached (see
+    /// [`Receiver::attach_metrics`]) the same measurements are also
+    /// recorded as `cbma.rx.*` metrics.
     pub fn receive(&self, samples: &[Iq]) -> RxReport {
         let mut report = self.receive_once(samples);
-        for _ in 0..self.config.sic_passes {
-            if !self.sic_pass(samples, &mut report) {
-                break;
+        if self.config.sic_passes > 0 {
+            let sic_start = Instant::now();
+            for _ in 0..self.config.sic_passes {
+                report.telemetry.sic_iterations += 1;
+                if !self.sic_pass(samples, &mut report) {
+                    break;
+                }
             }
+            report.telemetry.sic_ns =
+                sic_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.record(&report);
         }
         report
     }
@@ -219,8 +396,13 @@ impl Receiver {
             let window = self.codes[user.detection.code_index].len() * spc;
             crate::sic::cancel_user(&mut residual, user.detection.start, &envelope, window);
         }
+        if !residual.is_empty() {
+            report.telemetry.sic_residual_energy =
+                residual.iter().map(|s| s.power()).sum::<f64>() / residual.len() as f64;
+        }
 
         let rerun = self.receive_once(&residual);
+        report.telemetry.absorb(&rerun.telemetry);
         let mut changed = false;
         for new_user in rerun.users {
             if !new_user.outcome.is_frame() {
@@ -249,6 +431,7 @@ impl Receiver {
             } else {
                 report.users.push(new_user);
             }
+            report.telemetry.sic_recovered += 1;
             changed = true;
         }
         changed
@@ -256,8 +439,15 @@ impl Receiver {
 
     /// Runs the detection/decode pipeline once (no SIC).
     fn receive_once(&self, samples: &[Iq]) -> RxReport {
-        let Some(edge) = self.sync.best_edge(samples) else {
-            return RxReport::default();
+        let mut telemetry = RxTelemetry::default();
+        let stage_start = Instant::now();
+        let edge = self.sync.best_edge(samples);
+        telemetry.frame_sync_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let Some(edge) = edge else {
+            return RxReport {
+                telemetry,
+                ..RxReport::default()
+            };
         };
         let spc = self.phy.samples_per_chip();
         let back = (self.config.search_back_chips + self.leading_silence_chips) * spc;
@@ -273,11 +463,23 @@ impl Receiver {
         if window_end <= window_start {
             return RxReport {
                 frame_detected: true,
+                telemetry,
                 ..RxReport::default()
             };
         }
         let window = &samples[window_start..window_end];
+        let stage_start = Instant::now();
         let candidates = self.detector.detect_candidates(window, window_start, 8);
+        telemetry.user_detect_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        telemetry.candidates_evaluated = candidates.iter().map(Vec::len).sum();
+        for det in candidates.iter().flatten() {
+            if det.correlation > telemetry.peak_correlation {
+                telemetry.peak_correlation = det.correlation;
+                telemetry.peak_margin = det.correlation - self.detector.threshold();
+            }
+        }
+
+        let stage_start = Instant::now();
 
         // Phase 1: decode every sync candidate of every code.
         let mut decoded: Vec<Vec<DecodedUser>> = Vec::with_capacity(candidates.len());
@@ -300,6 +502,11 @@ impl Receiver {
                     .collect(),
             );
         }
+        telemetry.decode_failures = decoded
+            .iter()
+            .flatten()
+            .filter(|u| !u.outcome.is_frame())
+            .count();
 
         // Phase 2: resolve cross-code aliases globally. A shifted copy of
         // one tag's waveform can correlate above threshold under another
@@ -371,6 +578,7 @@ impl Receiver {
                 }
             }
             'probe: for off in probe_offsets {
+                telemetry.probes_attempted += 1;
                 let Some(det) = self.detector.probe(samples, off, c) else {
                     continue;
                 };
@@ -420,6 +628,7 @@ impl Receiver {
                     .next()
                     .expect("candidate list is non-empty");
                 if strongest.outcome.is_frame() {
+                    telemetry.aliases_suppressed += 1;
                     strongest.outcome =
                         DecodeOutcome::Invalid(cbma_types::CbmaError::MalformedFrame(
                             "suppressed as a cross-code alias of a stronger user".into(),
@@ -428,10 +637,12 @@ impl Receiver {
                 users.push(strongest);
             }
         }
+        telemetry.decode_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         RxReport {
             frame_detected: true,
             users,
             ack,
+            telemetry,
         }
     }
 }
@@ -565,6 +776,94 @@ mod tests {
         let frames = with.frames();
         let weak_frame = frames.iter().find(|(id, _)| *id == 1).unwrap();
         assert_eq!(weak_frame.1.payload(), b"weak tag!!");
+    }
+
+    #[test]
+    fn telemetry_fills_stage_spans_and_domain_counts() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+        let mut tag = Tag::new(1, Point::ORIGIN, codes[1].clone());
+        let env = tag.transmit(b"telemetry".to_vec(), &phy).unwrap();
+        let buf = clean_capture(&[(env, Iq::from_polar(0.01, 0.4), 0)], 400);
+        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let report = rx.receive(&buf);
+        let t = &report.telemetry;
+        assert!(report.frame_detected);
+        assert!(t.candidates_evaluated >= 1, "{t:?}");
+        assert!(t.peak_correlation > 0.0, "{t:?}");
+        assert!(t.peak_margin >= 0.0, "{t:?}");
+        // Monotonic spans are non-zero for stages that did real work.
+        assert!(t.frame_sync_ns > 0, "{t:?}");
+        assert!(t.user_detect_ns > 0, "{t:?}");
+        assert!(t.decode_ns > 0, "{t:?}");
+        // SIC disabled by default.
+        assert_eq!(t.sic_iterations, 0);
+        assert_eq!(t.sic_ns, 0);
+    }
+
+    #[test]
+    fn telemetry_silence_still_times_frame_sync() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let report = rx.receive(&vec![Iq::new(1e-6, 0.0); 4000]);
+        assert!(!report.frame_detected);
+        assert!(report.telemetry.frame_sync_ns > 0);
+        assert_eq!(report.telemetry.user_detect_ns, 0);
+        assert_eq!(report.telemetry.candidates_evaluated, 0);
+        assert_eq!(report.telemetry.peak_correlation, 0.0);
+    }
+
+    #[test]
+    fn attached_registry_records_rx_metrics() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+        let mut tag = Tag::new(1, Point::ORIGIN, codes[1].clone());
+        let env = tag.transmit(b"metrics".to_vec(), &phy).unwrap();
+        let buf = clean_capture(&[(env, Iq::from_polar(0.01, 0.4), 0)], 400);
+        let registry = MetricsRegistry::new();
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        rx.attach_metrics(&registry);
+        let report = rx.receive(&buf);
+        assert!(report.ack.acknowledges(1));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cbma.rx.captures"], 1);
+        assert_eq!(snap.counters["cbma.rx.frames_detected"], 1);
+        assert_eq!(snap.counters["cbma.rx.users_decoded"], 1);
+        assert!(snap.counters["cbma.rx.candidates"] >= 1);
+        let sync = &snap.histograms["cbma.rx.stage.frame_sync_ns"];
+        assert_eq!(sync.count, 1);
+        assert!(sync.sum > 0);
+        assert_eq!(snap.histograms["cbma.rx.stage.decode_ns"].count, 1);
+        assert_eq!(snap.histograms["cbma.rx.peak_margin_milli"].count, 1);
+    }
+
+    #[test]
+    fn sic_telemetry_reports_iterations_and_recovery() {
+        let phy = PhyProfile::paper_default();
+        let codes = TwoNcFamily::new(4).unwrap().codes(4).unwrap();
+        let mut strong = Tag::new(0, Point::ORIGIN, codes[0].clone());
+        let mut weak = Tag::new(1, Point::ORIGIN, codes[1].clone());
+        let es = strong.transmit(b"strong tag".to_vec(), &phy).unwrap();
+        let ew = weak.transmit(b"weak tag!!".to_vec(), &phy).unwrap();
+        let buf = clean_capture(
+            &[
+                (es, Iq::from_polar(0.02, 0.4), 0),
+                (ew, Iq::from_polar(0.00063, 2.0), 3),
+            ],
+            400,
+        );
+        let config = ReceiverConfig {
+            sic_passes: 2,
+            ..ReceiverConfig::default()
+        };
+        let rx = Receiver::new(codes, phy, config);
+        let report = rx.receive(&buf);
+        let t = &report.telemetry;
+        assert!(t.sic_iterations >= 1, "{t:?}");
+        assert!(t.sic_ns > 0, "{t:?}");
+        assert_eq!(t.sic_recovered, 1, "{t:?}");
+        assert!(t.sic_residual_energy > 0.0, "{t:?}");
     }
 
     #[test]

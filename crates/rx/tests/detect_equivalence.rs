@@ -112,7 +112,7 @@ proptest! {
         // Up to two embedded users at random offsets, phases, amplitudes.
         for _ in 0..rng.gen_range(0usize..3) {
             let code = &codes[rng.gen_range(0..codes.len())];
-            let sig = user_signal(code, &p, Iq::from_polar(rng.gen_range(0.2..1.5), rng.gen_range(0.0..6.28)));
+            let sig = user_signal(code, &p, Iq::from_polar(rng.gen_range(0.2..1.5), rng.gen_range(0.0..std::f64::consts::TAU)));
             if wlen > 8 {
                 let at = rng.gen_range(0..wlen - 8);
                 for (i, s) in sig.into_iter().enumerate() {

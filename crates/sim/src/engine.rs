@@ -7,9 +7,13 @@
 //! feeds the tags' statistics. Rounds are deterministic in
 //! `(scenario.seed, round index)`.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use rand::Rng;
 
 use cbma_channel::mixer::{Mixer, TagSignal};
+use cbma_obs::{Counter, Event, Gauge, Histogram, MetricsRegistry, NoopSink, Sink};
 use cbma_rx::{Receiver, RxReport};
 use cbma_tag::{ImpedanceBank, Tag};
 use cbma_types::geometry::Point;
@@ -60,6 +64,55 @@ impl RoundOutcome {
     }
 }
 
+/// Pre-registered `cbma.sim.*` metric handles (lock-free atomics), bound
+/// once by [`Engine::attach_observability`].
+#[derive(Debug, Clone)]
+struct SimMetrics {
+    rounds: Counter,
+    frames_sent: Counter,
+    frames_delivered: Counter,
+    bit_errors: Counter,
+    bits_measured: Counter,
+    round_ns: Histogram,
+    active_tags: Gauge,
+    delivery_ratio: Gauge,
+}
+
+impl SimMetrics {
+    fn register(registry: &MetricsRegistry) -> SimMetrics {
+        SimMetrics {
+            rounds: registry.counter("cbma.sim.rounds"),
+            frames_sent: registry.counter("cbma.sim.frames_sent"),
+            frames_delivered: registry.counter("cbma.sim.frames_delivered"),
+            bit_errors: registry.counter("cbma.sim.bit_errors"),
+            bits_measured: registry.counter("cbma.sim.bits_measured"),
+            round_ns: registry.histogram("cbma.sim.round_ns"),
+            active_tags: registry.gauge("cbma.sim.active_tags"),
+            delivery_ratio: registry.gauge("cbma.sim.delivery_ratio"),
+        }
+    }
+
+    fn record(&self, outcome: &RoundOutcome, round_ns: u64) {
+        self.rounds.inc();
+        self.frames_sent.add(outcome.active.len() as u64);
+        self.frames_delivered.add(outcome.delivered.len() as u64);
+        let (err, total) = outcome
+            .bit_errors
+            .iter()
+            .fold((0u64, 0u64), |(e, t), &(_, be, bt)| {
+                (e + be as u64, t + bt as u64)
+            });
+        self.bit_errors.add(err);
+        self.bits_measured.add(total);
+        self.round_ns.record(round_ns);
+        self.active_tags.max(outcome.active.len() as f64);
+        if !outcome.active.is_empty() {
+            self.delivery_ratio
+                .set(outcome.delivered.len() as f64 / outcome.active.len() as f64);
+        }
+    }
+}
+
 /// The simulation engine for one scenario.
 #[derive(Debug)]
 pub struct Engine {
@@ -70,6 +123,11 @@ pub struct Engine {
     seq: SeedSequence,
     round: u64,
     capture_iq: bool,
+    /// Structured round/adaptation events go here; defaults to
+    /// [`NoopSink`], whose `enabled() == false` skips event assembly.
+    sink: Arc<dyn Sink>,
+    /// Registered metric handles, when observability is attached.
+    metrics: Option<SimMetrics>,
 }
 
 impl Engine {
@@ -111,6 +169,8 @@ impl Engine {
             seq,
             round: 0,
             capture_iq: false,
+            sink: Arc::new(NoopSink),
+            metrics: None,
         })
     }
 
@@ -118,6 +178,29 @@ impl Engine {
     /// (for waveform inspection; costs memory per round).
     pub fn set_capture_iq(&mut self, capture: bool) {
         self.capture_iq = capture;
+    }
+
+    /// Attaches a metrics registry: every subsequent round records
+    /// `cbma.sim.*` metrics here, and the inner receiver is wired to
+    /// record its `cbma.rx.*` metrics into the same registry.
+    pub fn attach_observability(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(SimMetrics::register(registry));
+        self.receiver.attach_metrics(registry);
+    }
+
+    /// Replaces the event sink. Rounds emit `cbma.sim.round` events and
+    /// the adaptation layer emits `cbma.sim.power_control` /
+    /// `cbma.sim.node_selection` events through it. The default
+    /// [`NoopSink`] reports `enabled() == false`, so no event is even
+    /// assembled on the hot path.
+    pub fn set_sink(&mut self, sink: Arc<dyn Sink>) {
+        self.sink = sink;
+    }
+
+    /// The current event sink (shared with the adaptation layer).
+    #[inline]
+    pub fn sink(&self) -> &Arc<dyn Sink> {
+        &self.sink
     }
 
     /// The scenario the engine was built from.
@@ -174,6 +257,7 @@ impl Engine {
     ///
     /// Panics if an index is out of range.
     pub fn run_round_subset(&mut self, active: &[usize]) -> RoundOutcome {
+        let round_start = Instant::now();
         let round = self.round;
         self.round += 1;
         let round_seq = self.seq.child(&format!("round-{round}"));
@@ -300,14 +384,32 @@ impl Engine {
             }
         }
 
-        RoundOutcome {
+        let outcome = RoundOutcome {
             active: active.to_vec(),
             report,
             delivered,
             bit_errors,
             signal_meta,
             iq: if self.capture_iq { Some(iq) } else { None },
+        };
+        let round_ns = round_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(metrics) = &self.metrics {
+            metrics.record(&outcome, round_ns);
         }
+        if self.sink.enabled() {
+            self.sink.record(
+                Event::new("cbma.sim.round")
+                    .with("round", round)
+                    .with("active", &outcome.active)
+                    .with("detected", &outcome.report.detected_ids())
+                    .with("delivered", &outcome.delivered)
+                    .with("frame_detected", outcome.report.frame_detected)
+                    .with("sic_recovered", outcome.report.telemetry.sic_recovered)
+                    .with("peak_correlation", outcome.report.telemetry.peak_correlation)
+                    .with("round_ns", round_ns),
+            );
+        }
+        outcome
     }
 
     /// Runs `n` all-tags rounds and accumulates statistics.
@@ -510,6 +612,58 @@ mod tests {
         for (b, a) in before.iter().zip(&after) {
             assert_ne!(b, a, "tag did not move");
             assert!(b.distance_to(*a) <= 4.0 * 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn observability_records_metrics_and_round_events() {
+        use cbma_obs::{FieldValue, RecordingSink};
+
+        let registry = MetricsRegistry::new();
+        let sink = Arc::new(RecordingSink::new());
+        let mut engine = Engine::new(Scenario::clean(near_positions(2))).unwrap();
+        engine.attach_observability(&registry);
+        engine.set_sink(sink.clone());
+        engine.run_rounds(3);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cbma.sim.rounds"], 3);
+        assert_eq!(snap.counters["cbma.sim.frames_sent"], 6);
+        assert_eq!(snap.counters["cbma.sim.frames_delivered"], 6);
+        // The inner receiver records into the same registry.
+        assert_eq!(snap.counters["cbma.rx.captures"], 3);
+        assert_eq!(snap.histograms["cbma.sim.round_ns"].count, 3);
+        assert_eq!(snap.gauges["cbma.sim.active_tags"], 2.0);
+        assert_eq!(snap.gauges["cbma.sim.delivery_ratio"], 1.0);
+
+        let events = sink.take();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.name == "cbma.sim.round"));
+        assert_eq!(events[0].field_u64("round"), Some(0));
+        assert_eq!(events[2].field_u64("round"), Some(2));
+        assert_eq!(
+            events[0].field("active"),
+            Some(&FieldValue::List(vec![0, 1]))
+        );
+        assert_eq!(
+            events[0].field("delivered"),
+            Some(&FieldValue::List(vec![0, 1]))
+        );
+    }
+
+    #[test]
+    fn default_sink_is_disabled_and_rounds_are_unchanged() {
+        let mut plain = Engine::new(Scenario::clean(near_positions(2))).unwrap();
+        let mut wired = Engine::new(Scenario::clean(near_positions(2))).unwrap();
+        assert!(!wired.sink().enabled());
+        let registry = MetricsRegistry::new();
+        wired.attach_observability(&registry);
+        // Observability must not perturb the simulation itself.
+        for _ in 0..3 {
+            let a = plain.run_round();
+            let b = wired.run_round();
+            assert_eq!(a.delivered, b.delivered);
+            assert_eq!(a.active, b.active);
         }
     }
 

@@ -54,7 +54,10 @@ pub mod prelude {
     pub use crate::presets;
     pub use crate::scenario::Scenario;
     pub use crate::stats::{Cdf, RunStats};
-    pub use crate::sweep::parallel_sweep;
+    pub use crate::sweep::{parallel_sweep, parallel_sweep_instrumented};
+    pub use cbma_obs::{
+        Event, MetricsRegistry, NoopSink, RecordingSink, Sink, Snapshot, StageTimer,
+    };
     pub use cbma_channel::{
         BackscatterLink, ClockModel, Excitation, InterferenceModel, MultipathModel, NoiseModel,
         ShadowingModel,

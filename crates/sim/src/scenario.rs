@@ -73,9 +73,12 @@ impl Scenario {
         let n = tag_positions.len().max(1);
         let link = BackscatterLink::paper_default();
         let lambda = link.carrier.wavelength().get();
-        let mut rx_config = ReceiverConfig::default();
-        // Tolerate concurrent users down to ~1/√n of the segment energy.
-        rx_config.user_threshold = 0.12;
+        let rx_config = ReceiverConfig {
+            // Tolerate concurrent users down to ~1/√n of the segment
+            // energy.
+            user_threshold: 0.12,
+            ..ReceiverConfig::default()
+        };
         Scenario {
             phy,
             link,

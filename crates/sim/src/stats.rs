@@ -265,6 +265,59 @@ mod tests {
     }
 
     #[test]
+    fn zero_round_run_yields_finite_everything() {
+        // A run that never recorded a round must not divide by zero
+        // anywhere: every derived quantity is finite (or explicitly None).
+        let s = RunStats::new(4);
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.total_sent(), 0);
+        assert_eq!(s.total_delivered(), 0);
+        assert!(s.fer().is_finite());
+        assert_eq!(s.fer(), 0.0);
+        assert_eq!(s.per_tag_fer(), vec![None; 4]);
+        assert_eq!(s.ack_ratios(), vec![0.0; 4]);
+        assert_eq!(s.ber(), None);
+        assert_eq!(s.bits_measured(), 0);
+        let phy = PhyProfile::paper_default();
+        assert!(s.aggregate_symbol_rate(&phy).get().is_finite());
+        assert!(s.goodput(&phy, 8, 31).get().is_finite());
+    }
+
+    #[test]
+    fn never_transmitting_tag_does_not_nan_per_tag_fer() {
+        // Tag 1 never transmits across many rounds: its FER slot stays
+        // None (not NaN), the run FER ignores it, and merging preserves
+        // the distinction.
+        let mut s = RunStats::new(3);
+        for _ in 0..5 {
+            s.record(&outcome(vec![0, 2], vec![0]));
+        }
+        let per_tag = s.per_tag_fer();
+        assert_eq!(per_tag[1], None);
+        for fer in per_tag.iter().flatten() {
+            assert!(fer.is_finite(), "per-tag FER must never be NaN");
+        }
+        assert!((per_tag[0].unwrap() - 0.0).abs() < 1e-12);
+        assert!((per_tag[2].unwrap() - 1.0).abs() < 1e-12);
+        assert!(s.fer().is_finite());
+        // Merging two runs that both idled tag 1 keeps it idle.
+        let mut other = RunStats::new(3);
+        other.record(&outcome(vec![0], vec![0]));
+        s.merge(&other);
+        assert_eq!(s.per_tag_fer()[1], None);
+        assert!(!s.ack_ratios().iter().any(|r| r.is_nan()));
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let mut a = RunStats::new(2);
+        let mut b = RunStats::new(2);
+        b.record(&outcome(vec![0, 1], vec![1]));
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn aggregate_symbol_rate_scales_with_delivered_tags() {
         let phy = PhyProfile::paper_default();
         let mut s = RunStats::new(10);

@@ -115,6 +115,13 @@ impl Trace {
 
     /// Parses the [`to_text`](Trace::to_text) format.
     ///
+    /// Tolerates blank lines and CRLF line endings (traces copied through
+    /// Windows tooling); everything else malformed — wrong field count,
+    /// non-numeric indices, an unknown detected flag, stray whitespace
+    /// inside fields — is rejected with a line-numbered error rather than
+    /// silently skipped, so a corrupted trace cannot masquerade as a
+    /// shorter clean one.
+    ///
     /// # Errors
     ///
     /// Returns [`CbmaError::MalformedFrame`] describing the offending line
@@ -122,6 +129,8 @@ impl Trace {
     pub fn from_text(text: &str) -> Result<Trace> {
         let mut records = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
+            // `str::lines` splits on '\n' only; shed the '\r' of CRLF.
+            let line = line.strip_suffix('\r').unwrap_or(line);
             if line.trim().is_empty() {
                 continue;
             }
@@ -178,8 +187,10 @@ mod tests {
     use cbma_rx::RxReport;
 
     fn outcome(active: Vec<usize>, delivered: Vec<usize>, detected: bool) -> RoundOutcome {
-        let mut report = RxReport::default();
-        report.frame_detected = detected;
+        let report = RxReport {
+            frame_detected: detected,
+            ..RxReport::default()
+        };
         RoundOutcome {
             active,
             delivered,
@@ -216,6 +227,28 @@ mod tests {
         assert!(Trace::from_text("x|1||").is_err()); // bad round
         assert!(Trace::from_text("1|2||").is_err()); // bad flag
         assert!(Trace::from_text("1|1|a,b|").is_err()); // bad index
+        assert!(Trace::from_text("1|1|0,|").is_err()); // trailing comma
+        assert!(Trace::from_text("1|1| 0|").is_err()); // inner whitespace
+        assert!(Trace::from_text("1|1|0|0|extra").is_err()); // 5 fields
+        assert!(Trace::from_text("-1|1|0|0").is_err()); // negative round
+        assert!(Trace::from_text("1|1|-2|").is_err()); // negative index
+    }
+
+    #[test]
+    fn malformed_errors_name_the_line() {
+        let err = Trace::from_text("0|1|0|0\nbroken\n").unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 2"), "error should locate the line: {msg}");
+    }
+
+    #[test]
+    fn crlf_traces_parse() {
+        let trace = Trace::from_text("0|1|0,1|0\r\n1|0||\r\n").unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.records()[0].active, vec![0, 1]);
+        assert!(!trace.records()[1].frame_detected);
+        // And the round-trip through to_text is still identical.
+        assert_eq!(Trace::from_text(&trace.to_text()).unwrap(), trace);
     }
 
     #[test]
@@ -231,5 +264,48 @@ mod tests {
         trace.record(&outcome(vec![3], vec![3], true));
         assert_eq!(trace.records()[0].active, vec![3]);
         assert_eq!(trace.records()[0].round, 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `from_text ∘ to_text` is the identity on arbitrary traces.
+        #[test]
+        fn to_text_from_text_identity(
+            rounds in proptest::collection::vec(
+                (
+                    0u64..100_000,
+                    proptest::strategy::any::<bool>(),
+                    proptest::collection::vec(0usize..256, 0..10),
+                    proptest::collection::vec(0usize..256, 0..10),
+                ),
+                0..24,
+            )
+        ) {
+            let mut trace = Trace::new();
+            for (round, frame_detected, active, delivered) in rounds {
+                trace.push(RoundRecord {
+                    round,
+                    active,
+                    delivered,
+                    frame_detected,
+                });
+            }
+            let text = trace.to_text();
+            let parsed = Trace::from_text(&text).expect("serialized traces parse");
+            prop_assert_eq!(parsed, trace);
+        }
+
+        /// Parsing never panics on arbitrary junk — it returns a trace or
+        /// a structured error.
+        #[test]
+        fn from_text_is_panic_free(text in proptest::collection::vec(0u8..128, 0..200)) {
+            let text = String::from_utf8_lossy(&text).into_owned();
+            let _ = Trace::from_text(&text);
+        }
     }
 }

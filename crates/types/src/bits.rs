@@ -75,9 +75,13 @@ impl Bits {
 
     /// Parses a string of `'0'`/`'1'` characters.
     ///
+    /// Named like (and delegated to by) [`std::str::FromStr`], kept as an
+    /// inherent method so callers don't need the trait in scope.
+    ///
     /// # Errors
     ///
     /// Returns [`CbmaError::InvalidBit`] on any other character.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Result<Bits> {
         let mut bits = Vec::with_capacity(s.len());
         for c in s.chars() {
@@ -109,7 +113,7 @@ impl Bits {
     /// Returns [`CbmaError::BitLength`] if the length is not a multiple of
     /// eight.
     pub fn to_bytes_msb(&self) -> Result<Vec<u8>> {
-        if self.bits.len() % 8 != 0 {
+        if !self.bits.len().is_multiple_of(8) {
             return Err(CbmaError::BitLength {
                 expected_multiple: 8,
                 actual: self.bits.len(),
@@ -248,6 +252,14 @@ impl Index<usize> for Bits {
     #[inline]
     fn index(&self, index: usize) -> &u8 {
         &self.bits[index]
+    }
+}
+
+impl std::str::FromStr for Bits {
+    type Err = CbmaError;
+
+    fn from_str(s: &str) -> Result<Bits> {
+        Bits::from_str(s)
     }
 }
 

@@ -86,7 +86,7 @@ proptest! {
     #[test]
     fn bits_pack_and_xor(data in proptest::collection::vec(0u8..2, 0..128)) {
         let bits = Bits::from_slice(&data).unwrap();
-        if bits.len() % 8 == 0 {
+        if bits.len().is_multiple_of(8) {
             let packed = bits.to_bytes_msb().unwrap();
             prop_assert_eq!(Bits::from_bytes_msb(&packed), bits.clone());
         }

@@ -39,10 +39,7 @@ fn measure(plan: GroupPlan, scenario: &Scenario) -> (f64, Vec<u64>) {
         stats.record(&outcome);
     }
     let per_tag: Vec<u64> = (0..N_TAGS)
-        .map(|i| {
-            stats.ack_ratios()[i].round() as u64 * 0 // placeholder replaced below
-                + (stats.ack_ratios()[i] * ROTATIONS as f64).round() as u64
-        })
+        .map(|i| (stats.ack_ratios()[i] * ROTATIONS as f64).round() as u64)
         .collect();
     (stats.fer(), per_tag)
 }

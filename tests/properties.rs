@@ -50,10 +50,7 @@ proptest! {
         let corrupted = Bits::from_slice(&raw).unwrap();
         // Either the structure breaks or the CRC catches it; it must
         // never silently produce a different valid payload.
-        match Frame::from_bits(&corrupted, 8) {
-            Ok(decoded) => prop_assert_eq!(decoded, frame),
-            Err(_) => {}
-        }
+        if let Ok(decoded) = Frame::from_bits(&corrupted, 8) { prop_assert_eq!(decoded, frame) }
     }
 
     /// Scenario seeds fully determine outcomes.
