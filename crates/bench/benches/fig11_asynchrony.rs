@@ -4,8 +4,12 @@
 //! transmission is delayed by a controlled amount. The paper observes the
 //! lowest error at perfect synchronization and a jump to a ≈4 % plateau
 //! once any delay exists.
+//!
+//! Scenario construction lives in `cbma_bench::scenarios::fig11_engine` so
+//! this bench and the `fig11` campaign in `cbma-harness` measure the same
+//! physics.
 
-use cbma::prelude::*;
+use cbma_bench::scenarios::fig11_engine;
 use cbma_bench::{header, pct, Profile};
 
 fn main() {
@@ -16,7 +20,6 @@ fn main() {
     );
     let profile = Profile::from_env();
     let packets = profile.packets(1000);
-    let spc = PhyProfile::paper_default().samples_per_chip() as f64;
 
     // Delays in chips (the natural unit of misalignment); sub-chip and
     // multi-chip offsets both appear in the sweep.
@@ -24,20 +27,7 @@ fn main() {
 
     println!("{:>14} {:>12}", "delay (chips)", "error rate");
     let rows = cbma::sim::sweep::parallel_sweep(&delays, |&d| {
-        let mut scenario =
-            Scenario::paper_default(vec![Point::new(0.0, 0.40), Point::new(0.0, -0.40)])
-                .with_seed(0xF16_1100);
-        // Controlled clocks: tag 1 synchronized, tag 2 at the fixed delay.
-        scenario.clock = ClockModel::synchronized();
-        scenario.clock_overrides = vec![
-            Some(ClockModel::synchronized()),
-            Some(ClockModel::fixed(d * spc)),
-        ];
-        let mut engine = Engine::new(scenario).expect("valid scenario");
-        for t in engine.tags_mut() {
-            t.set_impedance(ImpedanceState::Open);
-        }
-        (d, engine.run_rounds(packets).fer())
+        (d, fig11_engine(d, 0xF16_1100).run_rounds(packets).fer())
     });
     for (d, fer) in rows {
         println!("{:>14} {:>12}", d, pct(fer));

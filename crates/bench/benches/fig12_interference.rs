@@ -6,17 +6,13 @@
 //! the channel mostly free); OFDM excitation drops reception
 //! significantly because the tags cannot tell when there is a signal to
 //! reflect.
+//!
+//! Condition construction lives in `cbma_bench::scenarios::fig12_engine`
+//! so this bench and the `fig12` campaign in `cbma-harness` measure the
+//! same physics.
 
-use cbma::prelude::*;
+use cbma_bench::scenarios::{fig12_engine, Fig12Condition};
 use cbma_bench::{header, pct, Profile};
-
-fn measure(scenario: Scenario, packets: usize) -> f64 {
-    let mut engine = Engine::new(scenario).expect("valid scenario");
-    for t in engine.tags_mut() {
-        t.set_impedance(ImpedanceState::Open);
-    }
-    1.0 - engine.run_rounds(packets).fer()
-}
 
 fn main() {
     header(
@@ -27,40 +23,15 @@ fn main() {
     let profile = Profile::from_env();
     let packets = profile.packets(1000);
 
-    let base = Scenario::paper_default(vec![
-        Point::new(0.0, 0.40),
-        Point::new(0.0, -0.45),
-        Point::new(0.2, 0.60),
-    ])
-    .with_seed(0xF16_1200);
-
-    let cases: Vec<(&str, Scenario)> = vec![
-        ("no interference", base.clone()),
-        ("wifi interference", {
-            let mut s = base.clone();
-            s.interference = InterferenceModel::wifi(Dbm::new(-62.0), 1500);
-            s
-        }),
-        ("bluetooth interference", {
-            let mut s = base.clone();
-            s.interference = InterferenceModel::bluetooth(Dbm::new(-62.0), 5000);
-            s
-        }),
-        ("ofdm excitation", {
-            let mut s = base.clone();
-            // Intermittent OFDM traffic: on the air 60 % of the time in
-            // multi-millisecond bursts.
-            s.excitation = Excitation::ofdm(0.6, 60_000);
-            s
-        }),
-    ];
+    let cases: Vec<Fig12Condition> = Fig12Condition::ALL.to_vec();
 
     println!(
         "{:<26} {:>22}",
         "working condition", "packet reception rate"
     );
-    let rows = cbma::sim::sweep::parallel_sweep(&cases, |(label, scenario)| {
-        (*label, measure(scenario.clone(), packets))
+    let rows = cbma::sim::sweep::parallel_sweep(&cases, |&condition| {
+        let mut engine = fig12_engine(condition, 0xF16_1200);
+        (condition.label(), 1.0 - engine.run_rounds(packets).fer())
     });
     for (label, prr) in rows {
         println!("{label:<26} {:>22}", pct(prr));

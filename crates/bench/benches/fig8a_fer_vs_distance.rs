@@ -5,40 +5,13 @@
 //! packets per point (fast profile scales this down). Expected shape:
 //! roughly flat below ~2 m, rising with distance beyond, and more tags →
 //! higher error.
+//!
+//! The scenario construction lives in `cbma_bench::scenarios::fig8a_engine`
+//! so this bench and the `fig8a` campaign in `cbma-harness` measure the
+//! same physics.
 
-use cbma::prelude::*;
+use cbma_bench::scenarios::fig8a_engine;
 use cbma_bench::{header, pct, Profile};
-
-/// Places `n` tags clustered 50 cm from the ES, then slides the receiver
-/// so the tag-to-RX distance is `d` meters (the paper moves the RX; the
-/// link budget only sees the two distances).
-fn scenario_at(n: usize, d_cm: f64, seed: u64) -> Engine {
-    // Tags in a tight cluster around (0, 0.5): 50 cm from the ES at
-    // (-0.5 ... use ES at origin side. Geometry: ES at (0,0); tags near
-    // (0.5, 0); RX at (0.5 + d, 0).
-    let offsets = [(0.0, 0.0), (0.0, 0.12), (0.0, -0.12), (0.12, 0.0)];
-    let tags: Vec<Point> = (0..n)
-        .map(|i| Point::new(0.5 + offsets[i].0, offsets[i].1))
-        .collect();
-    let mut scenario = Scenario::paper_default(tags).with_seed(seed);
-    scenario.es = Point::new(0.0, 0.0);
-    scenario.rx = Point::new(0.5 + d_cm / 100.0, 0.0);
-    // The paper's FER starts rising beyond ~2 m. Pure AWGN cannot produce
-    // that (the despreading gain keeps Eb/N0 huge at 4 m); what grows with
-    // indoor range is the scattered-to-LOS ratio, so the Rician K-factor
-    // decays with the tag→RX distance: clean LOS on the bench, fading-
-    // dominated at the far end of the office.
-    let d_m = (d_cm / 100.0).max(0.1);
-    scenario.multipath = MultipathModel {
-        k_factor: (12.0 / d_m).clamp(2.0, 24.0),
-        ..MultipathModel::indoor_default()
-    };
-    let mut engine = Engine::new(scenario).expect("valid scenario");
-    for t in engine.tags_mut() {
-        t.set_impedance(ImpedanceState::Open);
-    }
-    engine
-}
 
 fn main() {
     header(
@@ -64,7 +37,7 @@ fn main() {
     );
     let rows = cbma::sim::sweep::parallel_sweep(&distances, |&d| {
         let fer = |n: usize| {
-            scenario_at(n, d, 0x0F16_8A00 + d as u64)
+            fig8a_engine(n, d, 0x0F16_8A00 + d as u64)
                 .run_rounds(packets)
                 .fer()
         };

@@ -4,23 +4,12 @@
 //! (the backscatter power is linear in it, per Eq. 1), 2/3/4 concurrent
 //! tags. Expected shape: error falls as power rises, and is very high at
 //! −5 dBm where the backscatter signal sinks into the noise.
+//!
+//! Scenario construction lives in `cbma_bench::scenarios::fig8b_engine` so
+//! this bench and the harness campaigns measure the same physics.
 
-use cbma::prelude::*;
-use cbma_bench::{balanced_positions, header, pct, Profile};
-
-fn engine_at(n: usize, tx_dbm: f64, seed: u64) -> Engine {
-    let mut scenario = Scenario::paper_default(balanced_positions(n)).with_seed(seed);
-    scenario.link = scenario.link.with_tx_power(Dbm::new(tx_dbm));
-    // The paper's error knee sits near 0 dBm excitation, which locates
-    // their effective receiver floor around −73 dBm (ours defaults to a
-    // quieter −87 dBm and would keep every point error-free).
-    scenario.noise = NoiseModel::new(Db::new(6.0), Dbm::new(-73.0));
-    let mut engine = Engine::new(scenario).expect("valid scenario");
-    for t in engine.tags_mut() {
-        t.set_impedance(ImpedanceState::Open);
-    }
-    engine
-}
+use cbma_bench::scenarios::fig8b_engine;
+use cbma_bench::{header, pct, Profile};
 
 fn main() {
     header(
@@ -38,7 +27,7 @@ fn main() {
     );
     let rows = cbma::sim::sweep::parallel_sweep(&powers, |&p| {
         let fer = |n: usize| {
-            engine_at(n, p, 0x0F16_8B00 + (p + 10.0) as u64)
+            fig8b_engine(n, p, 0x0F16_8B00 + (p + 10.0) as u64)
                 .run_rounds(packets)
                 .fer()
         };

@@ -5,12 +5,15 @@
 //! tags at their arbitrary boot impedance states (no power control) and
 //! once after Algorithm 1 converges. The paper reports ≤5 % error with
 //! power control at 5 tags and a ~5× gap at 5 tags.
+//!
+//! Deployment construction lives in `cbma_bench::scenarios::fig9c_scenario`
+//! so this bench and the `fig9c` campaign in `cbma-harness` measure the
+//! same groups: positions and channel seed derive from `(n, group)`, and
+//! both arms of each group share the same deployment.
 
 use cbma::prelude::*;
-use cbma::sim::adaptation::Adapter;
-use cbma::sim::deployment::random_positions;
-use cbma_bench::{header, pct, table_area, Profile};
-use rand::SeedableRng;
+use cbma_bench::scenarios::{fig9c_power_control, fig9c_scenario};
+use cbma_bench::{header, pct, Profile};
 
 fn main() {
     header(
@@ -28,20 +31,16 @@ fn main() {
     );
     let counts: Vec<usize> = vec![2, 3, 4, 5];
     let rows = cbma::sim::sweep::parallel_sweep(&counts, |&n| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x916C + n as u64);
         let mut no_pc = 0.0;
         let mut with_pc = 0.0;
         for g in 0..groups {
-            let positions = random_positions(&mut rng, table_area(), n, 0.12);
-            let scenario =
-                Scenario::paper_default(positions).with_seed(0x916C00 + (n * 100 + g) as u64);
+            let scenario = fig9c_scenario(n, g as u64);
             // Without power control: arbitrary boot impedance states.
             let mut raw = Engine::new(scenario.clone()).expect("valid scenario");
             no_pc += raw.run_rounds(packets).fer();
             // With power control: Algorithm 1 to convergence, then measure.
             let mut adapted = Engine::new(scenario).expect("valid scenario");
-            let adapter = Adapter::paper_default(packets.max(10) / 2);
-            let _ = adapter.run_power_control(&mut adapted);
+            fig9c_power_control(&mut adapted, packets.max(10) / 2);
             with_pc += adapted.run_rounds(packets).fer();
         }
         (n, no_pc / groups as f64, with_pc / groups as f64)

@@ -15,6 +15,8 @@
 
 use cbma::prelude::*;
 
+pub mod scenarios;
+
 /// The run profile, selected by `CBMA_BENCH_PROFILE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {

@@ -1,0 +1,264 @@
+//! The built-in figure campaigns.
+//!
+//! Each campaign mirrors one bench target under `crates/bench/benches/`
+//! — both call the same `cbma_bench::scenarios` builders, so the
+//! declarative campaign and the human-readable bench can never measure
+//! different physics. The fast tier keeps every figure's grid shape with
+//! reduced counts; the full tier restores paper-scale packet counts.
+//!
+//! Seeding: every point replicate receives an independent stream derived
+//! from `(root seed, campaign, point label, replicate)`. The one
+//! exception is `fig9c`, where the deployment must be *paired* between
+//! the power-control-on and power-control-off arms: there the deployment
+//! and channel seeds derive from `(tag count, group)` inside
+//! `fig9c_scenario`, exactly as the bench does.
+
+use cbma::obs::json::JsonValue;
+use cbma::prelude::*;
+use cbma_bench::scenarios::{
+    fig11_engine, fig12_engine, fig8a_engine, fig8b_engine, fig9c_power_control, fig9c_scenario,
+    Fig12Condition,
+};
+
+use crate::campaign::{Campaign, CampaignPoint};
+use crate::tier::Tier;
+
+/// Packets per adaptation control round in the fig9c power-control arm.
+const FIG9C_CONTROL_PACKETS: usize = 10;
+
+/// Fig. 8(a): FER vs tag→RX distance for 2–4 tags.
+pub fn fig8a(tier: Tier) -> Campaign {
+    let distances: Vec<f64> = match tier {
+        Tier::Fast => vec![25.0, 100.0, 250.0, 400.0],
+        Tier::Full => (1..=40).map(|i| i as f64 * 10.0).collect(),
+    };
+    let mut points = Vec::new();
+    for &n in &[2usize, 3, 4] {
+        for &d in &distances {
+            points.push(CampaignPoint::new(
+                format!("n{n}_d{d:03.0}cm"),
+                &[
+                    ("n_tags", JsonValue::UInt(n as u64)),
+                    ("d_cm", JsonValue::Float(d)),
+                ],
+                move |ctx| fig8a_engine(n, d, ctx.seed),
+            ));
+        }
+    }
+    Campaign {
+        name: "fig8a",
+        paper_ref: "Fig. 8(a), §VII-B.1",
+        description: "frame error rate vs tag→RX distance, 2/3/4 tags",
+        tier: tier.label(),
+        replicates: tier.pick(2, 10),
+        rounds: tier.pick(25, 100),
+        points,
+    }
+}
+
+/// Fig. 8(b): FER vs excitation transmit power for 2–4 tags.
+pub fn fig8b(tier: Tier) -> Campaign {
+    let powers: Vec<f64> = match tier {
+        Tier::Fast => vec![-5.0, 5.0, 20.0],
+        Tier::Full => vec![-5.0, 0.0, 5.0, 10.0, 15.0, 20.0],
+    };
+    let mut points = Vec::new();
+    for &n in &[2usize, 3, 4] {
+        for &p in &powers {
+            points.push(CampaignPoint::new(
+                format!("n{n}_pt{p:+03.0}dbm"),
+                &[
+                    ("n_tags", JsonValue::UInt(n as u64)),
+                    ("tx_power_dbm", JsonValue::Float(p)),
+                ],
+                move |ctx| fig8b_engine(n, p, ctx.seed),
+            ));
+        }
+    }
+    Campaign {
+        name: "fig8b",
+        paper_ref: "Fig. 8(b), §VII-B.1",
+        description: "frame error rate vs excitation transmit power, 2/3/4 tags",
+        tier: tier.label(),
+        replicates: tier.pick(2, 10),
+        rounds: tier.pick(25, 100),
+        points,
+    }
+}
+
+/// Fig. 9(c): error rate with vs without Algorithm 1 power control.
+///
+/// Replicates are deployment groups: replicate `g` of the `pc_on` and
+/// `pc_off` points for tag count `n` measures the *same* random
+/// deployment, so the arms are paired exactly as in the paper.
+pub fn fig9c(tier: Tier) -> Campaign {
+    let mut points = Vec::new();
+    for &n in &[2usize, 3, 4, 5] {
+        for &pc in &[false, true] {
+            let arm = if pc { "pc_on" } else { "pc_off" };
+            points.push(CampaignPoint::new(
+                format!("n{n}_{arm}"),
+                &[
+                    ("n_tags", JsonValue::UInt(n as u64)),
+                    ("power_control", JsonValue::Bool(pc)),
+                ],
+                move |ctx| {
+                    // Deployment pairing: seeds derive from (n, group),
+                    // not from ctx.seed — see module docs.
+                    let scenario = fig9c_scenario(n, ctx.replicate as u64);
+                    let mut engine = Engine::new(scenario).expect("valid fig9c scenario");
+                    if pc {
+                        fig9c_power_control(&mut engine, FIG9C_CONTROL_PACKETS);
+                    }
+                    engine
+                },
+            ));
+        }
+    }
+    Campaign {
+        name: "fig9c",
+        paper_ref: "Fig. 9(c), §VII-B.3",
+        description: "error rate with vs without Algorithm 1 power control, 2–5 tags",
+        tier: tier.label(),
+        replicates: tier.pick(3, 50),
+        rounds: tier.pick(20, 300),
+        points,
+    }
+}
+
+/// Fig. 11: 2-tag error rate vs tag-2 clock delay.
+pub fn fig11(tier: Tier) -> Campaign {
+    let delays: Vec<f64> = match tier {
+        Tier::Fast => vec![0.0, 0.5, 2.0, 6.0, 8.0, 12.0, 16.0],
+        Tier::Full => vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0],
+    };
+    let points = delays
+        .iter()
+        .map(|&d| {
+            CampaignPoint::new(
+                format!("delay_{:05.2}chips", d),
+                &[("delay_chips", JsonValue::Float(d))],
+                move |ctx| fig11_engine(d, ctx.seed),
+            )
+        })
+        .collect();
+    Campaign {
+        name: "fig11",
+        paper_ref: "Fig. 11, §VII-C.2",
+        description: "2-tag error rate vs inter-tag clock delay",
+        tier: tier.label(),
+        replicates: tier.pick(2, 10),
+        rounds: tier.pick(30, 100),
+        points,
+    }
+}
+
+/// Fig. 12: reception rate under the four working conditions.
+pub fn fig12(tier: Tier) -> Campaign {
+    let points = Fig12Condition::ALL
+        .iter()
+        .map(|&condition| {
+            CampaignPoint::new(
+                condition.label().replace(' ', "_"),
+                &[("condition", JsonValue::Str(condition.label().to_string()))],
+                move |ctx| fig12_engine(condition, ctx.seed),
+            )
+        })
+        .collect();
+    Campaign {
+        name: "fig12",
+        paper_ref: "Fig. 12, §VII-C.3",
+        description: "packet reception rate under four working conditions, 3 tags",
+        tier: tier.label(),
+        replicates: tier.pick(2, 10),
+        rounds: tier.pick(30, 100),
+        points,
+    }
+}
+
+/// All built-in campaign names, in suite order.
+pub const CAMPAIGN_NAMES: [&str; 5] = ["fig8a", "fig8b", "fig9c", "fig11", "fig12"];
+
+/// Builds a campaign by name at the given tier.
+pub fn by_name(name: &str, tier: Tier) -> Option<Campaign> {
+    match name {
+        "fig8a" => Some(fig8a(tier)),
+        "fig8b" => Some(fig8b(tier)),
+        "fig9c" => Some(fig9c(tier)),
+        "fig11" => Some(fig11(tier)),
+        "fig12" => Some(fig12(tier)),
+        _ => None,
+    }
+}
+
+/// Builds the full suite at the given tier.
+pub fn all(tier: Tier) -> Vec<Campaign> {
+    CAMPAIGN_NAMES
+        .iter()
+        .map(|name| by_name(name, tier).expect("built-in name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::JobCtx;
+
+    #[test]
+    fn all_builtins_validate_on_both_tiers() {
+        for tier in [Tier::Fast, Tier::Full] {
+            let suite = all(tier);
+            assert_eq!(suite.len(), CAMPAIGN_NAMES.len());
+            for c in &suite {
+                c.validate().unwrap_or_else(|e| panic!("{e}"));
+                assert_eq!(c.tier, tier.label());
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("fig99", Tier::Fast).is_none());
+        assert!(by_name("fig8a", Tier::Fast).is_some());
+    }
+
+    #[test]
+    fn fast_tier_is_smaller_than_full() {
+        for name in CAMPAIGN_NAMES {
+            let fast = by_name(name, Tier::Fast).unwrap();
+            let full = by_name(name, Tier::Full).unwrap();
+            assert!(fast.job_count() * fast.rounds < full.job_count() * full.rounds);
+        }
+    }
+
+    #[test]
+    fn fig9c_arms_are_paired_on_the_same_deployment() {
+        let c = fig9c(Tier::Fast);
+        let off = c.points.iter().find(|p| p.label == "n3_pc_off").unwrap();
+        let on = c.points.iter().find(|p| p.label == "n3_pc_on").unwrap();
+        let ctx = JobCtx {
+            seed: 1,
+            replicate: 0,
+        };
+        let a = (off.builder)(ctx);
+        let b = (on.builder)(ctx);
+        assert_eq!(
+            a.scenario().tag_positions,
+            b.scenario().tag_positions,
+            "paired arms must share the deployment"
+        );
+        assert_eq!(a.scenario().seed, b.scenario().seed);
+    }
+
+    #[test]
+    fn fig8a_grid_covers_tag_counts_and_distances() {
+        let c = fig8a(Tier::Fast);
+        assert_eq!(c.points.len(), 12);
+        let ctx = JobCtx {
+            seed: 3,
+            replicate: 0,
+        };
+        let e = (c.points[0].builder)(ctx);
+        assert_eq!(e.scenario().n_tags(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! The campaign runner CLI.
+//!
+//! ```text
+//! cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]...
+//!              [--seed N] [--workers N] [--fresh] [--list]
+//! ```
+//!
+//! Runs the selected campaigns (default: all built-ins) at the selected
+//! tier, checkpointing under `<out>/.checkpoints/<campaign>/` and writing
+//! one `<out>/<campaign>.<tier>.json` manifest per campaign. Re-running
+//! after an interruption resumes from the checkpoints; `--fresh` wipes
+//! them first.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cbma_harness::{campaigns, run_campaign, RunnerConfig, Tier};
+
+struct Cli {
+    tier: Tier,
+    out: PathBuf,
+    names: Vec<String>,
+    seed: u64,
+    workers: Option<usize>,
+    fresh: bool,
+    list: bool,
+}
+
+const USAGE: &str = "usage: cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]... \
+[--seed N] [--workers N] [--fresh] [--list]";
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        tier: Tier::Fast,
+        out: PathBuf::from("manifests"),
+        names: Vec::new(),
+        seed: 0xCB3A,
+        workers: None,
+        fresh: false,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--tier" => {
+                let v = value("--tier")?;
+                cli.tier = Tier::parse(&v).ok_or_else(|| format!("unknown tier {v:?}\n{USAGE}"))?;
+            }
+            "--out" => cli.out = PathBuf::from(value("--out")?),
+            "--campaign" => cli.names.push(value("--campaign")?),
+            "--seed" => {
+                let v = value("--seed")?;
+                cli.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                cli.workers = Some(
+                    v.parse()
+                        .map_err(|_| format!("--workers expects an integer, got {v:?}"))?,
+                );
+            }
+            "--fresh" => cli.fresh = true,
+            "--list" => cli.list = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.list {
+        println!("built-in campaigns ({} tier):", cli.tier);
+        for c in campaigns::all(cli.tier) {
+            println!(
+                "  {:<8} {:<24} {} points × {} replicates × {} rounds — {}",
+                c.name,
+                c.paper_ref,
+                c.points.len(),
+                c.replicates,
+                c.rounds,
+                c.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let names: Vec<String> = if cli.names.is_empty() {
+        campaigns::CAMPAIGN_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        cli.names.clone()
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&cli.out) {
+        eprintln!("cannot create output directory {}: {e}", cli.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    for name in &names {
+        let Some(campaign) = campaigns::by_name(name, cli.tier) else {
+            eprintln!(
+                "unknown campaign {name:?} (available: {})",
+                campaigns::CAMPAIGN_NAMES.join(", ")
+            );
+            return ExitCode::FAILURE;
+        };
+
+        let checkpoint_dir = cli.out.join(".checkpoints").join(format!(
+            "{}.{}",
+            campaign.name, campaign.tier
+        ));
+        if cli.fresh {
+            let _ = std::fs::remove_dir_all(&checkpoint_dir);
+        }
+
+        let mut cfg = RunnerConfig {
+            root_seed: cli.seed,
+            checkpoint_dir: Some(checkpoint_dir),
+            ..RunnerConfig::default()
+        };
+        if let Some(w) = cli.workers {
+            cfg.workers = w.max(1);
+        }
+
+        eprintln!(
+            "running {} ({}, {} tier): {} points × {} replicates × {} rounds",
+            campaign.name,
+            campaign.paper_ref,
+            campaign.tier,
+            campaign.points.len(),
+            campaign.replicates,
+            campaign.rounds
+        );
+        let started = std::time::Instant::now();
+        let manifest = match run_campaign(&campaign, &cfg) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("campaign {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = cli
+            .out
+            .join(format!("{}.{}.json", manifest.campaign, manifest.tier));
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+
+        let fers: Vec<f64> = manifest.points.iter().map(|p| p.totals.fer()).collect();
+        let (lo, hi) = fers.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &f| {
+            (lo.min(f), hi.max(f))
+        });
+        eprintln!(
+            "  wrote {} ({} points, FER {:.1}%–{:.1}%, {:.1}s)",
+            path.display(),
+            manifest.points.len(),
+            lo * 100.0,
+            hi * 100.0,
+            started.elapsed().as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_fast_tier_all_campaigns() {
+        let cli = parse_cli(&args(&[])).unwrap();
+        assert_eq!(cli.tier, Tier::Fast);
+        assert!(cli.names.is_empty());
+        assert_eq!(cli.out, PathBuf::from("manifests"));
+        assert!(!cli.fresh && !cli.list);
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let cli = parse_cli(&args(&[
+            "--tier", "full", "--out", "m", "--campaign", "fig11", "--campaign", "fig12",
+            "--seed", "99", "--workers", "3", "--fresh",
+        ]))
+        .unwrap();
+        assert_eq!(cli.tier, Tier::Full);
+        assert_eq!(cli.out, PathBuf::from("m"));
+        assert_eq!(cli.names, vec!["fig11", "fig12"]);
+        assert_eq!(cli.seed, 99);
+        assert_eq!(cli.workers, Some(3));
+        assert!(cli.fresh);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse_cli(&args(&["--bogus"])).is_err());
+        assert!(parse_cli(&args(&["--tier", "paper"])).is_err());
+        assert!(parse_cli(&args(&["--seed", "abc"])).is_err());
+        assert!(parse_cli(&args(&["--campaign"])).is_err());
+    }
+}

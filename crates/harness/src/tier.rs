@@ -1,0 +1,79 @@
+//! The fast/full tier split.
+//!
+//! Every campaign exists at two sizes. The **fast** tier keeps the grid
+//! shape of the paper's figure but cuts replicates and rounds so the whole
+//! suite finishes in tens of seconds — it is what CI and the regression
+//! tests run. The **full** tier restores paper-scale counts (≈1000
+//! collided packets per point, 50 deployment groups) for generating the
+//! numbers EXPERIMENTS.md reports.
+
+use std::fmt;
+
+/// Campaign size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Reduced replicates/rounds, same grid shape. Seconds per campaign.
+    Fast,
+    /// Paper-scale counts. Minutes to hours for the full suite.
+    Full,
+}
+
+impl Tier {
+    /// Parses a CLI tier name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s.to_ascii_lowercase().as_str() {
+            "fast" => Some(Tier::Fast),
+            "full" => Some(Tier::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case label (used in manifests and checkpoint
+    /// headers, so it must never change spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Fast => "fast",
+            Tier::Full => "full",
+        }
+    }
+
+    /// Picks the tier-appropriate count.
+    pub fn pick(self, fast: usize, full: usize) -> usize {
+        match self {
+            Tier::Fast => fast,
+            Tier::Full => full,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_case_insensitively() {
+        assert_eq!(Tier::parse("fast"), Some(Tier::Fast));
+        assert_eq!(Tier::parse("FULL"), Some(Tier::Full));
+        assert_eq!(Tier::parse("paper"), None);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for tier in [Tier::Fast, Tier::Full] {
+            assert_eq!(Tier::parse(tier.label()), Some(tier));
+            assert_eq!(format!("{tier}"), tier.label());
+        }
+    }
+
+    #[test]
+    fn pick_selects_by_tier() {
+        assert_eq!(Tier::Fast.pick(2, 50), 2);
+        assert_eq!(Tier::Full.pick(2, 50), 50);
+    }
+}

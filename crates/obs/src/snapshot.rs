@@ -119,6 +119,40 @@ impl Snapshot {
         }
     }
 
+    /// Returns a copy containing only the metrics whose name passes
+    /// `keep`. Used by campaign manifests to project a snapshot down to a
+    /// reproducible subset before embedding it in an artifact.
+    pub fn retain_metrics<F: Fn(&str) -> bool>(&self, keep: F) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(name, _)| keep(name))
+                .map(|(name, v)| (name.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(name, _)| keep(name))
+                .map(|(name, v)| (name.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(name, _)| keep(name))
+                .map(|(name, h)| (name.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Drops wall-clock timing metrics (names ending in `_ns`). Timing
+    /// histograms vary run-to-run even for bit-identical simulations, so
+    /// artifacts that must be byte-identical across same-seed runs embed
+    /// this projection instead of the raw snapshot.
+    pub fn without_timings(&self) -> Snapshot {
+        self.retain_metrics(|name| !name.ends_with("_ns"))
+    }
+
     /// Serializes to a stable, human-diffable JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
@@ -342,6 +376,31 @@ mod tests {
             Snapshot::from_json(r#"{"histograms": {"h": {"count": 0, "sum": 0, "min": 0, "max": 0, "buckets": [[70, 1]]}}}"#),
             Err(SnapshotError::Shape(_))
         ));
+    }
+
+    #[test]
+    fn retain_metrics_projects_all_three_kinds() {
+        let snap = sample_snapshot();
+        let rx_only = snap.retain_metrics(|name| name.starts_with("cbma.rx."));
+        assert_eq!(rx_only.counters.len(), 1);
+        assert_eq!(rx_only.counters["cbma.rx.users_decoded"], 7);
+        assert!(rx_only.gauges.is_empty());
+        assert_eq!(rx_only.histograms.len(), 1);
+        // Keeping everything is the identity.
+        assert_eq!(snap.retain_metrics(|_| true), snap);
+        // Keeping nothing empties the snapshot.
+        assert_eq!(snap.retain_metrics(|_| false), Snapshot::new());
+    }
+
+    #[test]
+    fn without_timings_drops_ns_metrics_only() {
+        let snap = sample_snapshot();
+        let filtered = snap.without_timings();
+        assert!(!filtered.histograms.contains_key("cbma.rx.stage.decode_ns"));
+        assert_eq!(filtered.counters, snap.counters);
+        assert_eq!(filtered.gauges, snap.gauges);
+        // Round-trips like any other snapshot.
+        assert_eq!(Snapshot::from_json(&filtered.to_json()).unwrap(), filtered);
     }
 
     #[test]

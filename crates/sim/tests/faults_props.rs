@@ -1,0 +1,142 @@
+//! Property tests for `sim::faults`: fault plans, mobility bounds and the
+//! degenerate ACK-loss probabilities, plus engine-level checks that the
+//! injected faults actually reach the transmission rounds.
+
+use cbma_sim::faults::{FaultPlan, MobilityModel};
+use cbma_sim::{Engine, Scenario};
+use cbma_types::geometry::{Point, Rect};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A tag marked dead from round `r` is alive strictly before `r` and
+    /// dead at every round from `r` on; unrelated tags never die.
+    #[test]
+    fn dead_tag_is_dead_exactly_from_its_round(
+        tag in 0usize..6,
+        dead_from in 0u64..50,
+        probe in 0u64..100,
+        other in 6usize..12,
+    ) {
+        let plan = FaultPlan::none().with_dead_tag(tag, dead_from);
+        prop_assert_eq!(plan.is_dead(tag, probe), probe >= dead_from);
+        prop_assert!(!plan.is_dead(other, probe), "unlisted tags never die");
+    }
+
+    /// `ack_loss = 0` never loses an ACK and `ack_loss = 1` always does,
+    /// whatever the RNG stream.
+    #[test]
+    fn ack_loss_degenerate_probabilities(seed in 0u64..1_000, draws in 1usize..64) {
+        let never = FaultPlan::none().with_ack_loss(0.0);
+        let always = FaultPlan::none().with_ack_loss(1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            prop_assert!(!never.ack_lost(&mut rng));
+            prop_assert!(always.ack_lost(&mut rng));
+        }
+    }
+
+    /// A mobility walk never leaves its bounding rectangle, from any
+    /// start point (even one outside the area — the first step clamps).
+    #[test]
+    fn mobility_walk_stays_in_rect(
+        seed in 0u64..1_000,
+        step in 0.0f64..0.5,
+        x0 in -2.0f64..2.0,
+        y0 in -2.0f64..2.0,
+        rounds in 1usize..80,
+    ) {
+        let area = Rect::new(Point::new(-0.6, -0.5), Point::new(0.6, 0.5));
+        let model = MobilityModel::new(step, area);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos = Point::new(x0, y0);
+        for round in 0..rounds {
+            pos = model.step(&mut rng, pos);
+            prop_assert!(
+                (-0.6..=0.6).contains(&pos.x) && (-0.5..=0.5).contains(&pos.y),
+                "round {}: walked out of the rect to ({}, {})",
+                round, pos.x, pos.y
+            );
+        }
+    }
+
+    /// A zero step size is the identity: the tag never moves.
+    #[test]
+    fn zero_step_mobility_is_static(seed in 0u64..1_000) {
+        let area = Rect::new(Point::new(-0.6, -0.5), Point::new(0.6, 0.5));
+        let model = MobilityModel::new(0.0, area);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = Point::new(0.25, -0.25);
+        prop_assert_eq!(model.step(&mut rng, start), start);
+    }
+
+    /// Moves within the area are bounded by the configured step size.
+    #[test]
+    fn mobility_step_is_bounded(seed in 0u64..1_000, step in 0.0f64..0.2) {
+        let area = Rect::new(Point::new(-10.0, -10.0), Point::new(10.0, 10.0));
+        let model = MobilityModel::new(step, area);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let from = Point::new(0.0, 0.0);
+        let to = model.step(&mut rng, from);
+        let moved = ((to.x - from.x).powi(2) + (to.y - from.y).powi(2)).sqrt();
+        prop_assert!(moved <= step + 1e-12, "moved {} > step {}", moved, step);
+    }
+}
+
+fn two_tag_scenario(seed: u64) -> Scenario {
+    Scenario::paper_default(vec![Point::new(0.0, 0.4), Point::new(0.0, -0.4)]).with_seed(seed)
+}
+
+/// Engine-level: a dead tag transmits in no round at or after its death
+/// round and in every round before it.
+#[test]
+fn engine_dead_tag_contributes_nothing_after_its_round() {
+    let dead_from = 3u64;
+    let mut scenario = two_tag_scenario(0xFA017);
+    scenario.faults = FaultPlan::none().with_dead_tag(1, dead_from);
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for round in 0..6u64 {
+        let outcome = engine.run_round();
+        assert!(outcome.active.contains(&0), "tag 0 transmits every round");
+        assert_eq!(
+            outcome.active.contains(&1),
+            round < dead_from,
+            "round {round}: dead-from-{dead_from} tag activity"
+        );
+        if round >= dead_from {
+            assert!(
+                !outcome.delivered.contains(&1),
+                "round {round}: a dead tag cannot be delivered"
+            );
+            assert!(
+                outcome.bit_errors.iter().all(|&(tag, _, _)| tag != 1),
+                "round {round}: a dead tag cannot contribute bit measurements"
+            );
+        }
+    }
+}
+
+/// Engine-level: mobility keeps every tag inside the paper's table area
+/// across a full run.
+#[test]
+fn engine_mobility_keeps_tags_in_area() {
+    let area = Rect::new(Point::new(-0.6, -0.5), Point::new(0.6, 0.5));
+    let mut scenario = two_tag_scenario(0xFA018);
+    scenario.mobility = Some(MobilityModel::new(0.08, area));
+    let mut engine = Engine::new(scenario).expect("valid scenario");
+    for _ in 0..10 {
+        engine.run_round();
+        for tag in engine.tags() {
+            let p = tag.position();
+            assert!(
+                (-0.6..=0.6).contains(&p.x) && (-0.5..=0.5).contains(&p.y),
+                "tag left the table area: ({}, {})",
+                p.x,
+                p.y
+            );
+        }
+    }
+}
