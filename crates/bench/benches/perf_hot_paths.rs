@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use cbma::codes::{CodeFamily, TwoNcFamily};
 use cbma::prelude::*;
-use cbma::rx::{CorrelationPath, Decoder, DecoderKind, UserDetector};
+use cbma::rx::{CorrelationPath, Decoder, DecoderKind, DetectScratch, UserDetector};
 use cbma::tag::{encoder::spread, modulator::ook_envelope, PhyProfile, Tag};
 
 fn bench_correlation(c: &mut Criterion) {
@@ -34,6 +34,23 @@ fn bench_correlation(c: &mut Criterion) {
     });
     c.bench_function("user_detect_fft", |b| {
         b.iter(|| detector.detect_candidates_with(&buf[350..3000], 350, 8, CorrelationPath::Fft))
+    });
+    // Shared-FFT K-code matrix pass on the steady-state (scratch-reusing)
+    // entry point — the receiver's production configuration.
+    c.bench_function("user_detect_batch", |b| {
+        let mut scratch = DetectScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            detector.detect_candidates_in(
+                &buf[350..3000],
+                350,
+                8,
+                CorrelationPath::Batch,
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        })
     });
 }
 

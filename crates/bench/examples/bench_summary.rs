@@ -8,10 +8,12 @@
 //!
 //! Cases:
 //!
-//! * `user_detect_{direct,fft,auto}` — the full 10-code detector on the
-//!   paper-default window (the `user_detect_10_codes` workload), which
+//! * `user_detect_{direct,fft,batch,auto}` — the full 10-code detector on
+//!   the paper-default window (the `user_detect_10_codes` workload), which
 //!   backs the receiver's headline speedup and the
-//!   `cbma::rx::FFT_LAG_CROSSOVER` constant,
+//!   `cbma::rx::FFT_LAG_CROSSOVER` constant; `batch` is the shared-FFT
+//!   K-code engine (one forward transform per overlap-save block for all
+//!   ten codes),
 //! * `periodic_xcorr_{direct,fft}_n*` — circular code-family correlation
 //!   at several sequence lengths, which picked
 //!   `cbma::dsp::correlate::PERIODIC_FFT_CROSSOVER`.
@@ -25,10 +27,10 @@ use cbma::codes::{CodeFamily, TwoNcFamily};
 use cbma::dsp::correlate::dot;
 use cbma::dsp::xcorr::SlidingCorrelator;
 use cbma::prelude::*;
-use cbma::rx::{CorrelationPath, DecoderKind, UserDetector};
+use cbma::rx::{CorrelationPath, DecoderKind, DetectScratch, UserDetector};
 use cbma::tag::{PhyProfile, Tag};
 
-/// One timed case: mean ns/op over enough iterations to cover ~80 ms.
+/// One timed case: best-of-3 mean ns/op, each repetition covering ~40 ms.
 struct Case {
     name: String,
     mean_ns: f64,
@@ -36,23 +38,33 @@ struct Case {
 }
 
 fn time_case<R>(name: &str, mut f: impl FnMut() -> R) -> Case {
-    // Warm-up + calibration: find an iteration count that runs ≥ 80 ms.
+    // Warm-up + calibration: find an iteration count that runs ≥ 40 ms.
     let mut iters = 1u64;
     loop {
         let t = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());
         }
-        let elapsed = t.elapsed();
-        if elapsed.as_millis() >= 80 || iters > 1 << 24 {
-            let mean_ns = elapsed.as_nanos() as f64 / iters as f64;
-            return Case {
-                name: name.to_string(),
-                mean_ns,
-                iters,
-            };
+        if t.elapsed().as_millis() >= 40 || iters > 1 << 24 {
+            break;
         }
         iters *= 4;
+    }
+    // Timed repetitions, keeping the minimum: scheduler preemption and
+    // frequency wobble only ever add time, so min-of-3 is far more stable
+    // run-to-run than any single pass — the bench gate depends on that.
+    let mut mean_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        mean_ns = mean_ns.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    Case {
+        name: name.to_string(),
+        mean_ns,
+        iters,
     }
 }
 
@@ -70,13 +82,20 @@ fn main() {
     let lags = window.len() - ref_len + 1;
 
     let mut cases = Vec::new();
+    // Steady-state protocol: the receiver owns a scratch arena and reuses
+    // it every capture, so the timed op is `detect_candidates_in` over a
+    // warm arena — allocation-free by the `alloc_free` test's guarantee.
+    let mut scratch = DetectScratch::new();
+    let mut out = Vec::new();
     for (name, path) in [
         ("user_detect_direct", CorrelationPath::Direct),
         ("user_detect_fft", CorrelationPath::Fft),
+        ("user_detect_batch", CorrelationPath::Batch),
         ("user_detect_auto", CorrelationPath::Auto),
     ] {
         let case = time_case(name, || {
-            detector.detect_candidates_with(window, 350, 8, path)
+            detector.detect_candidates_in(window, 350, 8, path, &mut scratch, &mut out);
+            out.len()
         });
         println!(
             "{:24} {:>12.0} ns/op  ({} iters)",
@@ -85,9 +104,17 @@ fn main() {
         cases.push(case);
     }
     let speedup = cases[0].mean_ns / cases[1].mean_ns;
+    let batch_speedup = cases[1].mean_ns / cases[2].mean_ns;
+    // Real-time factor: air time the window represents (samples at the
+    // paper-default rate) over the time the detector needs to scan it.
+    let window_ns = window.len() as f64 / phy.sample_rate.get() * 1e9;
+    let realtime_factor = window_ns / cases[2].mean_ns;
     println!(
         "fft speedup over direct: {speedup:.2}x  (window {}, ref {ref_len}, {lags} lags, 10 codes)",
         window.len()
+    );
+    println!(
+        "batch speedup over fft:  {batch_speedup:.2}x   real-time factor (batch): {realtime_factor:.2}x"
     );
 
     // Circular correlation A/B at the lengths around
@@ -128,6 +155,8 @@ fn main() {
     let _ = writeln!(json, "  \"lags\": {lags},");
     let _ = writeln!(json, "  \"codes\": {},", codes.len());
     let _ = writeln!(json, "  \"fft_speedup_over_direct\": {speedup:.3},");
+    let _ = writeln!(json, "  \"batch_speedup_over_fft\": {batch_speedup:.3},");
+    let _ = writeln!(json, "  \"realtime_factor_batch\": {realtime_factor:.3},");
     json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let comma = if i + 1 == cases.len() { "" } else { "," };

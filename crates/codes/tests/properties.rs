@@ -1,6 +1,6 @@
 //! Property-based tests for the code families.
 
-use cbma_codes::{CodeFamily, FamilyKind};
+use cbma_codes::FamilyKind;
 use cbma_types::Bits;
 use proptest::prelude::*;
 

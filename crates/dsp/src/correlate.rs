@@ -10,16 +10,20 @@
 
 use cbma_types::Iq;
 
+use crate::simd;
 use crate::xcorr::SlidingCorrelator;
 
 /// Below this sequence length [`periodic_cross_correlation`] stays in the
 /// time domain (with the ring unrolled so the inner loop has no modulo);
-/// above it the overlap-save FFT engine wins. Picked by the
+/// above it the overlap-save FFT engine wins. Re-tuned against the SIMD
+/// direct kernel *and* the permutation-free raw-FFT pipeline by the
 /// `periodic_xcorr` cases of the `bench_summary` runner in `cbma-bench`
-/// (release build): at n = 95 direct is still ~15 % ahead, at n = 127 the
-/// FFT path is ~1.5× faster, and by n = 255 it is ~3× faster — the
-/// break-even sits just above 96.
-pub const PERIODIC_FFT_CROSSOVER: usize = 96;
+/// (release build): the vectorized dot product pushes the break-even past
+/// the old value of 96 — at n = 95 direct still wins (≈1.3 µs vs
+/// ≈1.9 µs) — while the DIF/DIT engine pulls it back under 127, where
+/// the FFT path is now ahead (≈1.9 µs vs ≈2.2 µs); interpolating the
+/// n² vs n log n trends puts the crossing near 116.
+pub const PERIODIC_FFT_CROSSOVER: usize = 120;
 
 /// Raw (unnormalized) dot product of two equal-length real sequences.
 ///
@@ -27,8 +31,7 @@ pub const PERIODIC_FFT_CROSSOVER: usize = 96;
 ///
 /// Panics if the lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    simd::dot(a, b)
 }
 
 /// Normalized correlation of two equal-length real sequences, in [−1, 1].
@@ -40,8 +43,8 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 pub fn normalized_correlation(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "correlation requires equal lengths");
-    let ea: f64 = a.iter().map(|x| x * x).sum();
-    let eb: f64 = b.iter().map(|x| x * x).sum();
+    let ea = simd::dot(a, a);
+    let eb = simd::dot(b, b);
     if ea == 0.0 || eb == 0.0 {
         return 0.0;
     }
@@ -94,16 +97,7 @@ pub fn periodic_cross_correlation(a: &[f64], b: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ.
 pub fn correlate_iq_bipolar(samples: &[Iq], reference: &[f64]) -> Iq {
-    assert_eq!(
-        samples.len(),
-        reference.len(),
-        "iq correlation requires equal lengths"
-    );
-    samples
-        .iter()
-        .zip(reference)
-        .map(|(s, &r)| s.scale(r))
-        .sum()
+    simd::dot_iq_real(samples, reference)
 }
 
 /// Noncoherent normalized correlation magnitude of IQ samples against a
@@ -114,8 +108,8 @@ pub fn normalized_iq_correlation(samples: &[Iq], reference: &[f64]) -> f64 {
         reference.len(),
         "iq correlation requires equal lengths"
     );
-    let es: f64 = samples.iter().map(|s| s.power()).sum();
-    let er: f64 = reference.iter().map(|r| r * r).sum();
+    let es = simd::sum_power(samples);
+    let er = simd::dot(reference, reference);
     if es == 0.0 || er == 0.0 {
         return 0.0;
     }

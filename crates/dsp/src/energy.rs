@@ -16,6 +16,7 @@ use cbma_types::units::Db;
 use cbma_types::Iq;
 
 use crate::mafilter::MovingAverage;
+use crate::simd;
 
 /// Computes the instantaneous power series |I+jQ|² of a sample buffer.
 pub fn power_series(samples: &[Iq]) -> Vec<f64> {
@@ -24,7 +25,9 @@ pub fn power_series(samples: &[Iq]) -> Vec<f64> {
 
 /// Computes the magnitude series √(I²+Q²) — the paper's P(t) (§V-B).
 pub fn magnitude_series(samples: &[Iq]) -> Vec<f64> {
-    samples.iter().map(|s| s.abs()).collect()
+    let mut out = vec![0.0; samples.len()];
+    simd::magnitudes_into(samples, &mut out);
+    out
 }
 
 /// Mean power of a sample buffer, zero for an empty buffer.
@@ -32,7 +35,7 @@ pub fn mean_power(samples: &[Iq]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples.iter().map(|s| s.power()).sum::<f64>() / samples.len() as f64
+    simd::sum_power(samples) / samples.len() as f64
 }
 
 /// An energy rise event reported by [`EnergyDetector`].
@@ -140,16 +143,31 @@ impl EnergyDetector {
 
     /// Scans an IQ buffer and returns every detected rising edge.
     pub fn detect(&mut self, samples: &[Iq]) -> Vec<EnergyEdge> {
-        samples
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| self.push_power(i, s.power()))
-            .collect()
+        let mut edges = Vec::new();
+        self.detect_into(samples, &mut edges);
+        edges
     }
 
-    /// Resets all detector state.
+    /// Allocation-free variant of [`EnergyDetector::detect`]: `out` is
+    /// cleared and refilled, growing only past its high-water capacity.
+    pub fn detect_into(&mut self, samples: &[Iq], out: &mut Vec<EnergyEdge>) {
+        out.clear();
+        out.extend(
+            samples
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| self.push_power(i, s.power())),
+        );
+    }
+
+    /// Resets all detector state, including the statistic smoother —
+    /// required for a detector that is *reused* across captures (the
+    /// receiver's scratch arena keeps one alive), where stale smoother
+    /// contents would bleed the previous capture's power into the next
+    /// decision statistic.
     pub fn reset(&mut self) {
         self.filter.reset();
+        self.smoother.reset();
         self.seen = 0;
         self.armed = true;
     }
@@ -243,6 +261,20 @@ mod tests {
         assert_eq!(magnitude_series(&buf), vec![5.0, 2.0]);
         assert!((mean_power(&buf) - 14.5).abs() < 1e-12);
         assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn reset_makes_reuse_deterministic() {
+        // A detector held in a scratch arena is reset between captures;
+        // identical captures must then produce bit-identical edges. A
+        // reset that forgets the statistic smoother leaks the previous
+        // capture's burst power into the next run's decision statistic.
+        let samples = noise_then_burst(1.0, 4.0, 96, 64);
+        let mut det = EnergyDetector::with_smoothing(16, 128, Db::new(3.0));
+        let first = det.detect(&samples);
+        det.reset();
+        let second = det.detect(&samples);
+        assert_eq!(first, second);
     }
 
     #[test]

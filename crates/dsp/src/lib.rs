@@ -19,9 +19,13 @@
 //!   interference model,
 //! * [`xcorr`] — the fast sliding-correlation engine: precomputed
 //!   [`xcorr::FftPlan`]s, the overlap-save [`xcorr::SlidingCorrelator`]
-//!   with cached reference spectra, and [`xcorr::RunningEnergy`] prefix
-//!   sums for O(1) segment power/mean queries — the receiver's user
-//!   detector runs on these,
+//!   with cached reference spectra, the K-code [`xcorr::BatchCorrelator`]
+//!   that shares one forward FFT per block across every cached reference
+//!   spectrum, and [`xcorr::RunningEnergy`] prefix sums for O(1) segment
+//!   power/mean queries — the receiver's user detector runs on these,
+//! * [`simd`] — the explicit-SIMD inner-loop kernels (AVX2+FMA with
+//!   portable scalar fallbacks and one-time runtime dispatch) that all of
+//!   the above funnel through,
 //! * [`window`] — taper functions for spectral analysis.
 //!
 //! # Examples
@@ -42,6 +46,7 @@ pub mod fir;
 pub mod goertzel;
 pub mod mafilter;
 pub mod resample;
+pub mod simd;
 pub mod squarewave;
 pub mod window;
 pub mod xcorr;
@@ -50,7 +55,7 @@ pub use biquad::Biquad;
 pub use correlate::{
     correlate_iq_bipolar, normalized_correlation, sliding_correlation, PeakSearch,
 };
-pub use xcorr::{FftPlan, RunningEnergy, SlidingCorrelator};
+pub use xcorr::{BatchCorrelator, BatchScratch, FftPlan, RunningEnergy, SlidingCorrelator};
 pub use energy::{power_series, EnergyDetector};
 pub use fir::Fir;
 pub use goertzel::Goertzel;

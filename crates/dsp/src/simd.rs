@@ -1,0 +1,846 @@
+//! Explicit-SIMD inner-loop kernels with scalar fallbacks.
+//!
+//! Every hot inner loop of the receive chain — real dot products, complex
+//! multiply-accumulate against a real reference, pointwise spectrum
+//! multiplication, radix-2 butterflies, energy sums — funnels through this
+//! module. On x86-64 with AVX2+FMA (detected once at runtime) the kernels
+//! process two complex samples (four `f64` lanes) per instruction; on
+//! other machines, or when the features are absent, the portable scalar
+//! versions run instead. The `*_scalar` functions are public so the
+//! equivalence tests in `crates/dsp/tests/simd_equivalence.rs` can pin
+//! both implementations together across every lane-remainder case.
+//!
+//! Numerically the vector kernels are *not* bit-identical to the scalar
+//! ones (they reassociate additions across accumulator lanes), but both
+//! are exact to ~1e-12 relative on receiver-scale inputs, well inside the
+//! 1e-9 window the cross-path detector tests enforce.
+//!
+//! Safety: the only `unsafe` in `cbma-dsp` lives here. It is confined to
+//! (a) reinterpreting `&[Iq]` as interleaved `&[f64]` — sound because
+//! [`Iq`] is `#[repr(C)] { re: f64, im: f64 }` — and (b) calling
+//! `#[target_feature(enable = "avx2,fma")]` functions after
+//! `is_x86_feature_detected!` has confirmed both features.
+
+use cbma_types::Iq;
+
+/// `true` when the AVX2+FMA kernels are active on this machine.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        x86::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Views a complex slice as its interleaved `[re, im, re, im, …]` floats.
+#[inline]
+fn as_f64(samples: &[Iq]) -> &[f64] {
+    // SAFETY: Iq is #[repr(C)] with exactly two f64 fields, so a slice of
+    // n Iq is layout-identical to 2n contiguous f64s.
+    unsafe { std::slice::from_raw_parts(samples.as_ptr() as *const f64, 2 * samples.len()) }
+}
+
+/// Raw dot product of two equal-length real sequences.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        return unsafe { x86::dot(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Portable reference implementation of [`dot`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Complex multiply-accumulate of IQ samples against a real reference:
+/// `Σ_i samples[i] · reference[i]` — the decoder/detector MAC kernel.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot_iq_real(samples: &[Iq], reference: &[f64]) -> Iq {
+    assert_eq!(
+        samples.len(),
+        reference.len(),
+        "iq correlation requires equal lengths"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        return unsafe { x86::dot_iq_real(samples, reference) };
+    }
+    dot_iq_real_scalar(samples, reference)
+}
+
+/// Portable reference implementation of [`dot_iq_real`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_iq_real_scalar(samples: &[Iq], reference: &[f64]) -> Iq {
+    assert_eq!(
+        samples.len(),
+        reference.len(),
+        "iq correlation requires equal lengths"
+    );
+    samples
+        .iter()
+        .zip(reference)
+        .map(|(s, &r)| s.scale(r))
+        .sum()
+}
+
+/// Pointwise complex multiplication `dst[i] *= src[i]` — the overlap-save
+/// spectrum product.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn spectrum_mul(dst: &mut [Iq], src: &[Iq]) {
+    assert_eq!(dst.len(), src.len(), "spectrum product requires equal lengths");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        unsafe { x86::spectrum_mul(dst, src) };
+        return;
+    }
+    spectrum_mul_scalar(dst, src);
+}
+
+/// Portable reference implementation of [`spectrum_mul`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn spectrum_mul_scalar(dst: &mut [Iq], src: &[Iq]) {
+    assert_eq!(dst.len(), src.len(), "spectrum product requires equal lengths");
+    for (x, r) in dst.iter_mut().zip(src) {
+        *x *= *r;
+    }
+}
+
+/// Three-operand spectrum product `dst[i] = a[i] · b[i]` — fuses the
+/// copy-then-multiply of the batched overlap-save inner loop into one
+/// pass (the K-code engine reads the shared window spectrum K times but
+/// never copies it).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn spectrum_mul_to(dst: &mut [Iq], a: &[Iq], b: &[Iq]) {
+    assert_eq!(dst.len(), a.len(), "spectrum product requires equal lengths");
+    assert_eq!(dst.len(), b.len(), "spectrum product requires equal lengths");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        unsafe { x86::spectrum_mul_to(dst, a, b) };
+        return;
+    }
+    spectrum_mul_to_scalar(dst, a, b);
+}
+
+/// Portable reference implementation of [`spectrum_mul_to`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn spectrum_mul_to_scalar(dst: &mut [Iq], a: &[Iq], b: &[Iq]) {
+    assert_eq!(dst.len(), a.len(), "spectrum product requires equal lengths");
+    assert_eq!(dst.len(), b.len(), "spectrum product requires equal lengths");
+    for ((x, u), v) in dst.iter_mut().zip(a).zip(b) {
+        *x = *u * *v;
+    }
+}
+
+/// Total power `Σ |s|²` of a complex window.
+#[inline]
+pub fn sum_power(samples: &[Iq]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        return unsafe { x86::sum_sq(as_f64(samples)) };
+    }
+    sum_power_scalar(samples)
+}
+
+/// Portable reference implementation of [`sum_power`].
+pub fn sum_power_scalar(samples: &[Iq]) -> f64 {
+    samples.iter().map(|s| s.power()).sum()
+}
+
+/// Scales every sample by a real factor in place (the inverse-FFT 1/N
+/// normalization).
+#[inline]
+pub fn scale_iq(buf: &mut [Iq], k: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        unsafe { x86::scale(buf, k) };
+        return;
+    }
+    scale_iq_scalar(buf, k);
+}
+
+/// Portable reference implementation of [`scale_iq`].
+pub fn scale_iq_scalar(buf: &mut [Iq], k: f64) {
+    for x in buf.iter_mut() {
+        *x = x.scale(k);
+    }
+}
+
+/// Subtracts a complex-scaled real envelope in place:
+/// `dst[i] -= gain · env[i]` — the SIC cancellation kernel.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn subtract_scaled_real(dst: &mut [Iq], env: &[f64], gain: Iq) {
+    assert_eq!(dst.len(), env.len(), "cancellation requires equal lengths");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        unsafe { x86::subtract_scaled_real(dst, env, gain) };
+        return;
+    }
+    subtract_scaled_real_scalar(dst, env, gain);
+}
+
+/// Portable reference implementation of [`subtract_scaled_real`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn subtract_scaled_real_scalar(dst: &mut [Iq], env: &[f64], gain: Iq) {
+    assert_eq!(dst.len(), env.len(), "cancellation requires equal lengths");
+    for (d, &e) in dst.iter_mut().zip(env) {
+        *d -= gain.scale(e);
+    }
+}
+
+/// Writes `√(re² + im²)` of every sample into `out` — the envelope
+/// magnitude series.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn magnitudes_into(samples: &[Iq], out: &mut [f64]) {
+    assert_eq!(samples.len(), out.len(), "magnitude output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        unsafe { x86::magnitudes_into(samples, out) };
+        return;
+    }
+    magnitudes_into_scalar(samples, out);
+}
+
+/// Portable reference implementation of [`magnitudes_into`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn magnitudes_into_scalar(samples: &[Iq], out: &mut [f64]) {
+    assert_eq!(samples.len(), out.len(), "magnitude output length mismatch");
+    for (o, s) in out.iter_mut().zip(samples) {
+        *o = s.power().sqrt();
+    }
+}
+
+/// The first radix-2 butterfly stage (`len = 2`, unit twiddle): adjacent
+/// pairs `(u, v)` become `(u + v, u − v)`.
+///
+/// # Panics
+///
+/// Panics on an odd-length buffer.
+#[inline]
+pub fn fft_stage_first(buf: &mut [Iq]) {
+    assert!(buf.len().is_multiple_of(2), "first stage needs an even buffer");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime.
+        unsafe { x86::fft_stage_first(buf) };
+        return;
+    }
+    fft_stage_first_scalar(buf);
+}
+
+/// Portable reference implementation of [`fft_stage_first`].
+///
+/// # Panics
+///
+/// Panics on an odd-length buffer.
+pub fn fft_stage_first_scalar(buf: &mut [Iq]) {
+    assert!(buf.len().is_multiple_of(2), "first stage needs an even buffer");
+    for pair in buf.chunks_exact_mut(2) {
+        let u = pair[0];
+        let v = pair[1];
+        pair[0] = u + v;
+        pair[1] = u - v;
+    }
+}
+
+/// One radix-2 butterfly stage of size `len ≥ 4` over the whole buffer:
+/// for every chunk of `len` samples and every `k < len/2`,
+/// `(chunk[k], chunk[k+len/2])` becomes `(u + w·v, u − w·v)` with
+/// `w = tw[k]` (conjugated when `inverse`). `tw` must hold the stage's
+/// `len/2` contiguous twiddles.
+///
+/// # Panics
+///
+/// Panics if `len < 4`, `len` is not a multiple of 4, `buf.len()` is not a
+/// multiple of `len`, or `tw.len() != len / 2`.
+#[inline]
+pub fn fft_stage(buf: &mut [Iq], len: usize, tw: &[Iq], inverse: bool) {
+    assert!(len >= 4 && len.is_multiple_of(4), "stage length must be 4k");
+    assert!(buf.len().is_multiple_of(len), "buffer must tile into chunks");
+    assert_eq!(tw.len(), len / 2, "one twiddle per butterfly");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime; len/2 is even
+        // so every chunk half splits into whole 2-butterfly vectors.
+        unsafe {
+            if inverse {
+                x86::fft_stage::<true>(buf, len, tw);
+            } else {
+                x86::fft_stage::<false>(buf, len, tw);
+            }
+        }
+        return;
+    }
+    fft_stage_scalar(buf, len, tw, inverse);
+}
+
+/// Portable reference implementation of [`fft_stage`].
+///
+/// # Panics
+///
+/// Panics under the same shape conditions as [`fft_stage`].
+pub fn fft_stage_scalar(buf: &mut [Iq], len: usize, tw: &[Iq], inverse: bool) {
+    assert!(len >= 4 && len.is_multiple_of(4), "stage length must be 4k");
+    assert!(buf.len().is_multiple_of(len), "buffer must tile into chunks");
+    assert_eq!(tw.len(), len / 2, "one twiddle per butterfly");
+    let half = len / 2;
+    for chunk in buf.chunks_exact_mut(len) {
+        let (lo, hi) = chunk.split_at_mut(half);
+        for (k, (&w0, h)) in tw.iter().zip(hi.iter_mut()).enumerate() {
+            let w = if inverse { w0.conj() } else { w0 };
+            let u = lo[k];
+            let v = *h * w;
+            lo[k] = u + v;
+            *h = u - v;
+        }
+    }
+}
+
+/// One decimation-in-frequency radix-2 stage of size `len ≥ 4`: for every
+/// chunk of `len` samples and every `k < len/2`,
+/// `(chunk[k], chunk[k+len/2])` becomes `(u + v, (u − v)·w)` with
+/// `w = tw[k]` (conjugated when `inverse`) — the twiddle multiply lands
+/// *after* the butterfly, the mirror of [`fft_stage`]. Running the DIF
+/// stages from `len = n` down to 4 followed by [`fft_stage_first`]
+/// transforms a natural-order buffer into a **bit-reversed-order**
+/// spectrum with no permutation pass; [`crate::xcorr::FftPlan`] pairs it
+/// with the plain DIT stages to keep the whole correlation pipeline
+/// permutation-free.
+///
+/// # Panics
+///
+/// Panics under the same shape conditions as [`fft_stage`].
+#[inline]
+pub fn fft_stage_dif(buf: &mut [Iq], len: usize, tw: &[Iq], inverse: bool) {
+    assert!(len >= 4 && len.is_multiple_of(4), "stage length must be 4k");
+    assert!(buf.len().is_multiple_of(len), "buffer must tile into chunks");
+    assert_eq!(tw.len(), len / 2, "one twiddle per butterfly");
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: available() confirmed avx2+fma at runtime; len/2 is even
+        // so every chunk half splits into whole 2-butterfly vectors.
+        unsafe {
+            if inverse {
+                x86::fft_stage_dif::<true>(buf, len, tw);
+            } else {
+                x86::fft_stage_dif::<false>(buf, len, tw);
+            }
+        }
+        return;
+    }
+    fft_stage_dif_scalar(buf, len, tw, inverse);
+}
+
+/// Portable reference implementation of [`fft_stage_dif`].
+///
+/// # Panics
+///
+/// Panics under the same shape conditions as [`fft_stage`].
+pub fn fft_stage_dif_scalar(buf: &mut [Iq], len: usize, tw: &[Iq], inverse: bool) {
+    assert!(len >= 4 && len.is_multiple_of(4), "stage length must be 4k");
+    assert!(buf.len().is_multiple_of(len), "buffer must tile into chunks");
+    assert_eq!(tw.len(), len / 2, "one twiddle per butterfly");
+    let half = len / 2;
+    for chunk in buf.chunks_exact_mut(len) {
+        let (lo, hi) = chunk.split_at_mut(half);
+        for (k, (&w0, h)) in tw.iter().zip(hi.iter_mut()).enumerate() {
+            let w = if inverse { w0.conj() } else { w0 };
+            let u = lo[k];
+            let v = *h;
+            lo[k] = u + v;
+            *h = (u - v) * w;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::Iq;
+    use std::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// 0 = undetected, 1 = scalar only, 2 = avx2+fma.
+    static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+    #[inline]
+    pub fn available() -> bool {
+        match LEVEL.load(Ordering::Relaxed) {
+            0 => {
+                let ok = std::is_x86_feature_detected!("avx2")
+                    && std::is_x86_feature_detected!("fma");
+                LEVEL.store(if ok { 2 } else { 1 }, Ordering::Relaxed);
+                ok
+            }
+            level => level == 2,
+        }
+    }
+
+    /// Sums the four lanes of a vector.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 4)),
+                _mm256_loadu_pd(bp.add(i + 4)),
+                acc1,
+            );
+            i += 8;
+        }
+        if i + 4 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+            i += 4;
+        }
+        let mut total = hsum(_mm256_add_pd(acc0, acc1));
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sum_sq(a: &[f64]) -> f64 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let x0 = _mm256_loadu_pd(ap.add(i));
+            let x1 = _mm256_loadu_pd(ap.add(i + 4));
+            acc0 = _mm256_fmadd_pd(x0, x0, acc0);
+            acc1 = _mm256_fmadd_pd(x1, x1, acc1);
+            i += 8;
+        }
+        if i + 4 <= n {
+            let x0 = _mm256_loadu_pd(ap.add(i));
+            acc0 = _mm256_fmadd_pd(x0, x0, acc0);
+            i += 4;
+        }
+        let mut total = hsum(_mm256_add_pd(acc0, acc1));
+        while i < n {
+            total += a[i] * a[i];
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_iq_real(samples: &[Iq], reference: &[f64]) -> Iq {
+        let n = samples.len();
+        let sp = samples.as_ptr() as *const f64;
+        let rp = reference.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            // [r0, r1, r2, r3] expanded to per-component pairs.
+            let r4 = _mm256_loadu_pd(rp.add(i));
+            let e01 = _mm256_permute4x64_pd(r4, 0x50); // [r0, r0, r1, r1]
+            let e23 = _mm256_permute4x64_pd(r4, 0xFA); // [r2, r2, r3, r3]
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(sp.add(2 * i)), e01, acc0);
+            acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(sp.add(2 * i + 4)), e23, acc1);
+            i += 4;
+        }
+        let acc = _mm256_add_pd(acc0, acc1);
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let pair = _mm_add_pd(lo, hi); // [Σre, Σim]
+        let mut re = _mm_cvtsd_f64(pair);
+        let mut im = _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+        while i < n {
+            let s = samples[i];
+            let r = reference[i];
+            re += s.re * r;
+            im += s.im * r;
+            i += 1;
+        }
+        Iq::new(re, im)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn spectrum_mul(dst: &mut [Iq], src: &[Iq]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let sp = src.as_ptr() as *const f64;
+        let mut i = 0;
+        while i + 2 <= n {
+            let v = _mm256_loadu_pd(dp.add(2 * i)); // [a, b] pairs
+            let w = _mm256_loadu_pd(sp.add(2 * i)); // [c, d] pairs
+            let wre = _mm256_movedup_pd(w); // [c, c]
+            let wim = _mm256_permute_pd(w, 0xF); // [d, d]
+            let vsw = _mm256_permute_pd(v, 0x5); // [b, a]
+            let t2 = _mm256_mul_pd(vsw, wim); // [b·d, a·d]
+            // [a·c − b·d, b·c + a·d]
+            let prod = _mm256_fmaddsub_pd(v, wre, t2);
+            _mm256_storeu_pd(dp.add(2 * i), prod);
+            i += 2;
+        }
+        while i < n {
+            dst[i] *= src[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn spectrum_mul_to(dst: &mut [Iq], a: &[Iq], b: &[Iq]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let ap = a.as_ptr() as *const f64;
+        let bp = b.as_ptr() as *const f64;
+        let mut i = 0;
+        while i + 2 <= n {
+            let v = _mm256_loadu_pd(ap.add(2 * i)); // [a, b] pairs
+            let w = _mm256_loadu_pd(bp.add(2 * i)); // [c, d] pairs
+            let wre = _mm256_movedup_pd(w); // [c, c]
+            let wim = _mm256_permute_pd(w, 0xF); // [d, d]
+            let vsw = _mm256_permute_pd(v, 0x5); // [b, a]
+            let t2 = _mm256_mul_pd(vsw, wim); // [b·d, a·d]
+            // [a·c − b·d, b·c + a·d]
+            let prod = _mm256_fmaddsub_pd(v, wre, t2);
+            _mm256_storeu_pd(dp.add(2 * i), prod);
+            i += 2;
+        }
+        while i < n {
+            dst[i] = a[i] * b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn scale(buf: &mut [Iq], k: f64) {
+        let n2 = 2 * buf.len();
+        let p = buf.as_mut_ptr() as *mut f64;
+        let kv = _mm256_set1_pd(k);
+        let mut i = 0;
+        while i + 4 <= n2 {
+            _mm256_storeu_pd(p.add(i), _mm256_mul_pd(_mm256_loadu_pd(p.add(i)), kv));
+            i += 4;
+        }
+        while i < n2 {
+            *p.add(i) *= k;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn subtract_scaled_real(dst: &mut [Iq], env: &[f64], gain: Iq) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr() as *mut f64;
+        let ep = env.as_ptr();
+        let g = _mm256_setr_pd(gain.re, gain.im, gain.re, gain.im);
+        let mut i = 0;
+        while i + 4 <= n {
+            let e4 = _mm256_loadu_pd(ep.add(i));
+            let e01 = _mm256_permute4x64_pd(e4, 0x50);
+            let e23 = _mm256_permute4x64_pd(e4, 0xFA);
+            let d01 = _mm256_loadu_pd(dp.add(2 * i));
+            let d23 = _mm256_loadu_pd(dp.add(2 * i + 4));
+            _mm256_storeu_pd(dp.add(2 * i), _mm256_fnmadd_pd(g, e01, d01));
+            _mm256_storeu_pd(dp.add(2 * i + 4), _mm256_fnmadd_pd(g, e23, d23));
+            i += 4;
+        }
+        while i < n {
+            dst[i] -= gain.scale(env[i]);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn magnitudes_into(samples: &[Iq], out: &mut [f64]) {
+        let n = samples.len();
+        let sp = samples.as_ptr() as *const f64;
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let x0 = _mm256_loadu_pd(sp.add(2 * i));
+            let x1 = _mm256_loadu_pd(sp.add(2 * i + 4));
+            let s0 = _mm256_mul_pd(x0, x0);
+            let s1 = _mm256_mul_pd(x1, x1);
+            // hadd interleaves the two sources: [a01, b01, a23, b23] →
+            // permute to sample order before the square root.
+            let sums = _mm256_permute4x64_pd(_mm256_hadd_pd(s0, s1), 0xD8);
+            _mm256_storeu_pd(op.add(i), _mm256_sqrt_pd(sums));
+            i += 4;
+        }
+        while i < n {
+            *op.add(i) = samples[i].power().sqrt();
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fft_stage_first(buf: &mut [Iq]) {
+        let n2 = 2 * buf.len();
+        let p = buf.as_mut_ptr() as *mut f64;
+        let signs = _mm256_setr_pd(1.0, 1.0, -1.0, -1.0);
+        let mut i = 0;
+        while i + 4 <= n2 {
+            let x = _mm256_loadu_pd(p.add(i)); // [u, v]
+            let swap = _mm256_permute2f128_pd(x, x, 0x01); // [v, u]
+            // [v + u, u − v]
+            _mm256_storeu_pd(p.add(i), _mm256_fmadd_pd(x, signs, swap));
+            i += 4;
+        }
+        // Odd single-complex tail cannot occur (even length asserted by
+        // the dispatcher), so nothing remains.
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fft_stage<const INVERSE: bool>(buf: &mut [Iq], len: usize, tw: &[Iq]) {
+        let half = len / 2;
+        let tp = tw.as_ptr() as *const f64;
+        for chunk in buf.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            let lp = lo.as_mut_ptr() as *mut f64;
+            let hp = hi.as_mut_ptr() as *mut f64;
+            let mut k = 0;
+            while k < 2 * half {
+                let v = _mm256_loadu_pd(hp.add(k));
+                let w = _mm256_loadu_pd(tp.add(k));
+                let wre = _mm256_movedup_pd(w);
+                let wim = _mm256_permute_pd(w, 0xF);
+                let t2 = _mm256_mul_pd(_mm256_permute_pd(v, 0x5), wim);
+                // Forward: v·w. Inverse: v·conj(w) — the conjugate flips
+                // the add/sub interleave of the fused multiply.
+                let prod = if INVERSE {
+                    _mm256_fmsubadd_pd(v, wre, t2)
+                } else {
+                    _mm256_fmaddsub_pd(v, wre, t2)
+                };
+                let u = _mm256_loadu_pd(lp.add(k));
+                _mm256_storeu_pd(lp.add(k), _mm256_add_pd(u, prod));
+                _mm256_storeu_pd(hp.add(k), _mm256_sub_pd(u, prod));
+                k += 4;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fft_stage_dif<const INVERSE: bool>(buf: &mut [Iq], len: usize, tw: &[Iq]) {
+        let half = len / 2;
+        let tp = tw.as_ptr() as *const f64;
+        for chunk in buf.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            let lp = lo.as_mut_ptr() as *mut f64;
+            let hp = hi.as_mut_ptr() as *mut f64;
+            let mut k = 0;
+            while k < 2 * half {
+                let u = _mm256_loadu_pd(lp.add(k));
+                let v = _mm256_loadu_pd(hp.add(k));
+                _mm256_storeu_pd(lp.add(k), _mm256_add_pd(u, v));
+                // (u − v)·w, twiddle applied after the butterfly.
+                let d = _mm256_sub_pd(u, v);
+                let w = _mm256_loadu_pd(tp.add(k));
+                let wre = _mm256_movedup_pd(w);
+                let wim = _mm256_permute_pd(w, 0xF);
+                let t2 = _mm256_mul_pd(_mm256_permute_pd(d, 0x5), wim);
+                let prod = if INVERSE {
+                    _mm256_fmsubadd_pd(d, wre, t2)
+                } else {
+                    _mm256_fmaddsub_pd(d, wre, t2)
+                };
+                _mm256_storeu_pd(hp.add(k), prod);
+                k += 4;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<Iq> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Iq::new((0.37 * t).sin() + 0.2, (0.11 * t).cos() - 0.1)
+            })
+            .collect()
+    }
+
+    fn reals(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (0.73 * i as f64).sin() - 0.1).collect()
+    }
+
+    #[test]
+    fn dot_matches_scalar_across_remainders() {
+        for n in 0..40 {
+            let a = reals(n);
+            let b: Vec<f64> = (0..n).map(|i| (0.31 * i as f64).cos()).collect();
+            let fast = dot(&a, &b);
+            let slow = dot_scalar(&a, &b);
+            assert!((fast - slow).abs() < 1e-9, "n={n}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn dot_iq_real_matches_scalar_across_remainders() {
+        for n in 0..40 {
+            let s = signal(n);
+            let r = reals(n);
+            let fast = dot_iq_real(&s, &r);
+            let slow = dot_iq_real_scalar(&s, &r);
+            assert!((fast - slow).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn spectrum_mul_matches_scalar() {
+        for n in 0..20 {
+            let src = signal(n);
+            let mut fast = signal(n);
+            let mut slow = fast.clone();
+            spectrum_mul(&mut fast, &src);
+            spectrum_mul_scalar(&mut slow, &src);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_scale_magnitude_and_cancel_match_scalar() {
+        for n in 0..33 {
+            let s = signal(n);
+            assert!((sum_power(&s) - sum_power_scalar(&s)).abs() < 1e-9, "n={n}");
+
+            let mut a = s.clone();
+            let mut b = s.clone();
+            scale_iq(&mut a, 0.37);
+            scale_iq_scalar(&mut b, 0.37);
+            assert_eq!(a, b, "scale n={n}");
+
+            let env = reals(n);
+            let g = Iq::new(0.8, -0.45);
+            let mut a = s.clone();
+            let mut b = s.clone();
+            subtract_scaled_real(&mut a, &env, g);
+            subtract_scaled_real_scalar(&mut b, &env, g);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((*x - *y).abs() < 1e-12, "cancel n={n}");
+            }
+
+            let mut ma = vec![0.0; n];
+            let mut mb = vec![0.0; n];
+            magnitudes_into(&s, &mut ma);
+            magnitudes_into_scalar(&s, &mut mb);
+            for (x, y) in ma.iter().zip(&mb) {
+                assert!((x - y).abs() < 1e-12, "mag n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_stages_match_scalar() {
+        for log in 2..8usize {
+            let len = 1 << log;
+            let half = len / 2;
+            let tw: Vec<Iq> = (0..half)
+                .map(|k| Iq::phasor(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
+                .collect();
+            for chunks in [1usize, 2, 4] {
+                let buf = signal(len * chunks);
+                for inverse in [false, true] {
+                    let mut fast = buf.clone();
+                    let mut slow = buf.clone();
+                    fft_stage(&mut fast, len, &tw, inverse);
+                    fft_stage_scalar(&mut slow, len, &tw, inverse);
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert!((*a - *b).abs() < 1e-12, "len={len} inv={inverse}");
+                    }
+
+                    let mut fast = buf.clone();
+                    let mut slow = buf.clone();
+                    fft_stage_dif(&mut fast, len, &tw, inverse);
+                    fft_stage_dif_scalar(&mut slow, len, &tw, inverse);
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert!((*a - *b).abs() < 1e-12, "dif len={len} inv={inverse}");
+                    }
+                }
+            }
+        }
+        let buf = signal(16);
+        let mut fast = buf.clone();
+        let mut slow = buf;
+        fft_stage_first(&mut fast);
+        fft_stage_first_scalar(&mut slow);
+        assert_eq!(fast, slow);
+    }
+}

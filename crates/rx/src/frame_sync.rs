@@ -11,6 +11,32 @@ use cbma_dsp::xcorr::RunningEnergy;
 use cbma_types::units::Db;
 use cbma_types::Iq;
 
+/// Reusable state for [`FrameSync::best_edge_in`]: the energy detector
+/// (whose moving-average buffers are reset, not reallocated, per
+/// capture), the edge list, and the window prefix sums. Created by
+/// [`FrameSync::scratch`]; one instance per receiver (or per sweep
+/// worker) makes steady-state frame sync allocation-free.
+#[derive(Debug, Clone)]
+pub struct SyncScratch {
+    detector: EnergyDetector,
+    edges: Vec<EnergyEdge>,
+    running: RunningEnergy,
+}
+
+impl SyncScratch {
+    /// Total heap capacity held by the scratch, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.edges.capacity() * std::mem::size_of::<EnergyEdge>() + self.running.capacity_bytes()
+    }
+
+    /// Address of the prefix-sum storage, for arena-reuse regression
+    /// tests.
+    #[doc(hidden)]
+    pub fn storage_ptr(&self) -> *const f64 {
+        self.running.storage_ptr()
+    }
+}
+
 /// The frame synchronizer.
 #[derive(Debug, Clone)]
 pub struct FrameSync {
@@ -47,6 +73,17 @@ impl FrameSync {
         self.threshold
     }
 
+    /// Creates the reusable scratch [`FrameSync::best_edge_in`] needs,
+    /// with the detector configured for this synchronizer's window and
+    /// threshold.
+    pub fn scratch(&self) -> SyncScratch {
+        SyncScratch {
+            detector: EnergyDetector::new(self.window, self.threshold),
+            edges: Vec::new(),
+            running: RunningEnergy::default(),
+        }
+    }
+
     /// Scans a buffer and returns every candidate frame-start edge.
     pub fn detect(&self, samples: &[Iq]) -> Vec<EnergyEdge> {
         let mut det = EnergyDetector::new(self.window, self.threshold);
@@ -72,13 +109,23 @@ impl FrameSync {
     /// comparability window keeps a weak tag's frame start qualified when
     /// a stronger tag dominates later.
     pub fn best_edge(&self, samples: &[Iq]) -> Option<EnergyEdge> {
-        let edges = self.detect(samples);
-        if edges.is_empty() {
+        self.best_edge_in(samples, &mut self.scratch())
+    }
+
+    /// Allocation-free variant of [`FrameSync::best_edge`]: the detector
+    /// state, edge list and prefix sums come from `scratch` (created by
+    /// [`FrameSync::scratch`]) and are reset — not reallocated — per
+    /// capture.
+    pub fn best_edge_in(&self, samples: &[Iq], scratch: &mut SyncScratch) -> Option<EnergyEdge> {
+        scratch.detector.reset();
+        scratch.detector.detect_into(samples, &mut scratch.edges);
+        if scratch.edges.is_empty() {
             return None;
         }
         // Prefix sums make each edge's post-window mean power an O(1)
         // lookup; post_ratio is evaluated twice per edge below.
-        let running = RunningEnergy::new(samples);
+        scratch.running.rebuild(samples);
+        let running = &scratch.running;
         let post_ratio = |e: &EnergyEdge| -> f64 {
             let end = (e.index + self.window).min(samples.len());
             if end <= e.index {
@@ -92,9 +139,9 @@ impl FrameSync {
             }
             mean / e.baseline
         };
-        let max_ratio = edges.iter().map(post_ratio).fold(0.0f64, f64::max);
+        let max_ratio = scratch.edges.iter().map(post_ratio).fold(0.0f64, f64::max);
         let qualify = (max_ratio / 100.0).max(4.0);
-        edges.into_iter().find(|e| post_ratio(e) >= qualify)
+        scratch.edges.iter().find(|e| post_ratio(e) >= qualify).copied()
     }
 }
 
@@ -128,6 +175,21 @@ mod tests {
         let sync = FrameSync::new(16, Db::new(4.5));
         assert_eq!(sync.window(), 16);
         assert_eq!(sync.threshold(), Db::new(4.5));
+    }
+
+    #[test]
+    fn scratch_reuse_is_pointer_stable_and_equivalent() {
+        let sync = FrameSync::paper_default(32);
+        let buf = burst_buffer(0.01, 0.1, 200, 100);
+        let mut scratch = sync.scratch();
+        let first = sync.best_edge_in(&buf, &mut scratch);
+        assert_eq!(first, sync.best_edge(&buf));
+        let ptr = scratch.storage_ptr();
+        // A second capture of the same length must reuse the arena
+        // verbatim — same backing storage, same result.
+        let second = sync.best_edge_in(&buf, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(ptr, scratch.storage_ptr(), "prefix sums reallocated");
     }
 
     #[test]

@@ -35,5 +35,7 @@ pub use ack::AckMessage;
 pub use decoder::{DecodeOutcome, Decoder, DecoderKind};
 pub use downlink::AckWire;
 pub use frame_sync::FrameSync;
-pub use receiver::{Receiver, ReceiverConfig, RxReport, RxTelemetry};
-pub use user_detect::{CorrelationPath, DetectedUser, UserDetector, FFT_LAG_CROSSOVER};
+pub use receiver::{Receiver, ReceiverConfig, RxReport, RxScratch, RxTelemetry};
+pub use user_detect::{
+    CorrelationPath, DetectScratch, DetectedUser, UserDetector, FFT_LAG_CROSSOVER,
+};

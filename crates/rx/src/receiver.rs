@@ -26,7 +26,7 @@
 //! iq.extend(envelope.iter().map(|&e| Iq::new(0.01 * e, 0.0)));
 //! iq.extend(vec![Iq::ZERO; 64]);
 //!
-//! let receiver = Receiver::new(codes, phy, ReceiverConfig::default());
+//! let mut receiver = Receiver::new(codes, phy, ReceiverConfig::default());
 //! let report = receiver.receive(&iq);
 //! assert!(report.ack.acknowledges(0));
 //! # Ok::<(), cbma_types::CbmaError>(())
@@ -35,15 +35,16 @@
 use std::time::Instant;
 
 use cbma_codes::PnCode;
-use cbma_obs::{Counter, Histogram, MetricsRegistry};
+use cbma_dsp::xcorr::RunningEnergy;
+use cbma_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use cbma_tag::frame::Frame;
 use cbma_tag::phy::PhyProfile;
 use cbma_types::Iq;
 
 use crate::ack::AckMessage;
 use crate::decoder::{DecodeOutcome, Decoder, DecoderKind};
-use crate::frame_sync::FrameSync;
-use crate::user_detect::{DetectedUser, UserDetector};
+use crate::frame_sync::{FrameSync, SyncScratch};
+use crate::user_detect::{CorrelationPath, DetectScratch, DetectedUser, UserDetector};
 
 /// Tunable receiver parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,6 +226,7 @@ struct RxMetrics {
     aliases_suppressed: Counter,
     probes: Counter,
     sic_recovered: Counter,
+    scratch_bytes: Gauge,
 }
 
 impl RxMetrics {
@@ -243,6 +245,7 @@ impl RxMetrics {
             aliases_suppressed: registry.counter("cbma.rx.aliases_suppressed"),
             probes: registry.counter("cbma.rx.probes"),
             sic_recovered: registry.counter("cbma.rx.sic_recovered"),
+            scratch_bytes: registry.gauge("cbma.rx.scratch_bytes"),
         }
     }
 
@@ -271,6 +274,82 @@ impl RxMetrics {
     }
 }
 
+/// Reusable per-receiver working memory for the whole receive pipeline:
+/// frame-sync state, detection buffers, decode candidate lists, alias-
+/// resolution tables and the SIC residual. Every buffer is cleared — not
+/// dropped — per capture, so a receiver in steady state (repeated captures
+/// of similar size) performs **zero heap allocation** on quiet captures
+/// and only output-proportional allocation when frames decode. One
+/// instance lives in each [`Receiver`]; `parallel_sweep` workers each own
+/// a receiver and therefore a private arena.
+#[derive(Debug)]
+pub struct RxScratch {
+    sync: SyncScratch,
+    detect: DetectScratch,
+    candidates: Vec<Vec<DetectedUser>>,
+    decoded: Vec<Vec<DecodedUser>>,
+    /// `(code, candidate index)` pairs, sorted by descending correlation.
+    order: Vec<(usize, usize)>,
+    /// Accepted candidate index per code, if any.
+    accepted: Vec<Option<usize>>,
+    /// `(code, payload)` pairs claimed by accepted candidates.
+    claimed: Vec<(usize, Vec<u8>)>,
+    /// Phase-3 timing hypotheses (accepted starts + window origin).
+    accepted_starts: Vec<usize>,
+    /// Deduplicated phase-3 probe offsets (±1 chip around hypotheses).
+    probe_offsets: Vec<usize>,
+    /// SIC working copy of the capture.
+    residual: Vec<Iq>,
+    /// Envelope prefix sums for [`crate::sic::cancel_user_in`].
+    env_energy: RunningEnergy,
+}
+
+impl RxScratch {
+    fn new(sync: &FrameSync) -> RxScratch {
+        RxScratch {
+            sync: sync.scratch(),
+            detect: DetectScratch::new(),
+            candidates: Vec::new(),
+            decoded: Vec::new(),
+            order: Vec::new(),
+            accepted: Vec::new(),
+            claimed: Vec::new(),
+            accepted_starts: Vec::new(),
+            probe_offsets: Vec::new(),
+            residual: Vec::new(),
+            env_energy: RunningEnergy::default(),
+        }
+    }
+
+    /// Heap capacity held directly by the arena's buffers, in bytes
+    /// (excluding per-element owned allocations such as decoded frame
+    /// payloads, which leave with the report). Exported as the
+    /// `cbma.rx.scratch_bytes` gauge when metrics are attached.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sync.capacity_bytes()
+            + self.detect.capacity_bytes()
+            + self.candidates.capacity() * std::mem::size_of::<Vec<DetectedUser>>()
+            + self
+                .candidates
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<DetectedUser>())
+                .sum::<usize>()
+            + self.decoded.capacity() * std::mem::size_of::<Vec<DecodedUser>>()
+            + self
+                .decoded
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<DecodedUser>())
+                .sum::<usize>()
+            + self.order.capacity() * std::mem::size_of::<(usize, usize)>()
+            + self.accepted.capacity() * std::mem::size_of::<Option<usize>>()
+            + self.claimed.capacity() * std::mem::size_of::<(usize, Vec<u8>)>()
+            + self.accepted_starts.capacity() * std::mem::size_of::<usize>()
+            + self.probe_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.residual.capacity() * std::mem::size_of::<Iq>()
+            + self.env_energy.capacity_bytes()
+    }
+}
+
 /// The CBMA receiver for one deployment's code set.
 #[derive(Debug)]
 pub struct Receiver {
@@ -286,6 +365,8 @@ pub struct Receiver {
     leading_silence_chips: usize,
     /// Registered metric handles, when observability is attached.
     metrics: Option<RxMetrics>,
+    /// Reusable pipeline working memory (see [`RxScratch`]).
+    scratch: RxScratch,
 }
 
 impl Receiver {
@@ -311,6 +392,7 @@ impl Receiver {
             .map(|c| c.bits().iter().take_while(|&b| b == 0).count())
             .max()
             .unwrap_or(0);
+        let scratch = RxScratch::new(&sync);
         Receiver {
             codes,
             phy,
@@ -320,6 +402,7 @@ impl Receiver {
             decoders,
             leading_silence_chips,
             metrics: None,
+            scratch,
         }
     }
 
@@ -351,7 +434,13 @@ impl Receiver {
     /// telemetry; when a registry is attached (see
     /// [`Receiver::attach_metrics`]) the same measurements are also
     /// recorded as `cbma.rx.*` metrics.
-    pub fn receive(&self, samples: &[Iq]) -> RxReport {
+    ///
+    /// Takes `&mut self` because the pipeline runs out of a per-receiver
+    /// scratch arena ([`RxScratch`]): in steady state (captures of similar
+    /// size) the whole chain performs zero heap allocation on quiet
+    /// captures and only output-proportional allocation when frames
+    /// decode.
+    pub fn receive(&mut self, samples: &[Iq]) -> RxReport {
         let mut report = self.receive_once(samples);
         if self.config.sic_passes > 0 {
             let sic_start = Instant::now();
@@ -366,26 +455,33 @@ impl Receiver {
         }
         if let Some(metrics) = &self.metrics {
             metrics.record(&report);
+            metrics.scratch_bytes.set(self.scratch.capacity_bytes() as f64);
         }
         report
+    }
+
+    /// Heap capacity currently retained by the receiver's scratch arena.
+    pub fn scratch_capacity_bytes(&self) -> usize {
+        self.scratch.capacity_bytes()
     }
 
     /// One SIC pass: subtract every decoded user, re-run the pipeline on
     /// the residual, and adopt newly decoded codes. Returns whether the
     /// report changed.
-    fn sic_pass(&self, samples: &[Iq], report: &mut RxReport) -> bool {
-        let decoded_codes: Vec<&DecodedUser> = report
-            .users
-            .iter()
-            .filter(|u| u.outcome.is_frame())
-            .collect();
-        if decoded_codes.is_empty() || decoded_codes.len() == self.codes.len() {
+    fn sic_pass(&mut self, samples: &[Iq], report: &mut RxReport) -> bool {
+        let decoded_count = report.users.iter().filter(|u| u.outcome.is_frame()).count();
+        if decoded_count == 0 || decoded_count == self.codes.len() {
             return false;
         }
         let spc = self.phy.samples_per_chip();
-        let mut residual = samples.to_vec();
+        // The residual buffer is arena-owned: taken for the duration of
+        // the pass (receive_once below re-borrows the scratch) and put
+        // back with its capacity intact.
+        let mut residual = std::mem::take(&mut self.scratch.residual);
+        residual.clear();
+        residual.extend_from_slice(samples);
         let mut claimed: Vec<Vec<u8>> = Vec::new();
-        for user in &decoded_codes {
+        for user in report.users.iter().filter(|u| u.outcome.is_frame()) {
             let frame = user.outcome.frame().expect("filtered to frames");
             claimed.push(frame.payload().to_vec());
             let envelope = crate::sic::reconstruct_envelope(
@@ -394,7 +490,13 @@ impl Receiver {
                 &self.phy,
             );
             let window = self.codes[user.detection.code_index].len() * spc;
-            crate::sic::cancel_user(&mut residual, user.detection.start, &envelope, window);
+            crate::sic::cancel_user_in(
+                &mut residual,
+                user.detection.start,
+                &envelope,
+                window,
+                &mut self.scratch.env_energy,
+            );
         }
         if !residual.is_empty() {
             report.telemetry.sic_residual_energy =
@@ -402,6 +504,7 @@ impl Receiver {
         }
 
         let rerun = self.receive_once(&residual);
+        self.scratch.residual = residual;
         report.telemetry.absorb(&rerun.telemetry);
         let mut changed = false;
         for new_user in rerun.users {
@@ -438,10 +541,10 @@ impl Receiver {
     }
 
     /// Runs the detection/decode pipeline once (no SIC).
-    fn receive_once(&self, samples: &[Iq]) -> RxReport {
+    fn receive_once(&mut self, samples: &[Iq]) -> RxReport {
         let mut telemetry = RxTelemetry::default();
         let stage_start = Instant::now();
-        let edge = self.sync.best_edge(samples);
+        let edge = self.sync.best_edge_in(samples, &mut self.scratch.sync);
         telemetry.frame_sync_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let Some(edge) = edge else {
             return RxReport {
@@ -469,7 +572,25 @@ impl Receiver {
         }
         let window = &samples[window_start..window_end];
         let stage_start = Instant::now();
-        let candidates = self.detector.detect_candidates(window, window_start, 8);
+        let RxScratch {
+            detect,
+            candidates,
+            decoded,
+            order,
+            accepted,
+            claimed,
+            accepted_starts,
+            probe_offsets,
+            ..
+        } = &mut self.scratch;
+        self.detector.detect_candidates_in(
+            window,
+            window_start,
+            8,
+            CorrelationPath::Auto,
+            detect,
+            candidates,
+        );
         telemetry.user_detect_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         telemetry.candidates_evaluated = candidates.iter().map(Vec::len).sum();
         for det in candidates.iter().flatten() {
@@ -481,26 +602,26 @@ impl Receiver {
 
         let stage_start = Instant::now();
 
-        // Phase 1: decode every sync candidate of every code.
-        let mut decoded: Vec<Vec<DecodedUser>> = Vec::with_capacity(candidates.len());
-        for code_candidates in candidates {
-            decoded.push(
-                code_candidates
-                    .into_iter()
-                    .map(|det| {
-                        let (outcome, bits) = self.decoders[det.code_index].decode_frame_with_bits(
-                            samples,
-                            det.start,
-                            det.channel_gain,
-                        );
-                        DecodedUser {
-                            detection: det,
-                            outcome,
-                            bits,
-                        }
-                    })
-                    .collect(),
-            );
+        // Phase 1: decode every sync candidate of every code. The decode
+        // lists are arena-owned: cleared per capture, capacity retained.
+        decoded.truncate(candidates.len());
+        for v in decoded.iter_mut() {
+            v.clear();
+        }
+        decoded.resize_with(candidates.len(), Vec::new);
+        for (code_candidates, slot) in candidates.iter().zip(decoded.iter_mut()) {
+            for &det in code_candidates {
+                let (outcome, bits) = self.decoders[det.code_index].decode_frame_with_bits(
+                    samples,
+                    det.start,
+                    det.channel_gain,
+                );
+                slot.push(DecodedUser {
+                    detection: det,
+                    outcome,
+                    bits,
+                });
+            }
         }
         telemetry.decode_failures = decoded
             .iter()
@@ -515,7 +636,7 @@ impl Receiver {
         // whose payload is already claimed by an accepted candidate of a
         // different code, then fall back per code to its strongest
         // remaining candidate.
-        let mut order: Vec<(usize, usize)> = Vec::new(); // (code, cand index)
+        order.clear();
         for (c, cands) in decoded.iter().enumerate() {
             for (k, u) in cands.iter().enumerate() {
                 if u.outcome.is_frame() {
@@ -530,9 +651,10 @@ impl Receiver {
                 .partial_cmp(&decoded[a.0][a.1].detection.correlation)
                 .expect("correlations are finite")
         });
-        let mut accepted: Vec<Option<usize>> = vec![None; decoded.len()];
-        let mut claimed: Vec<(usize, Vec<u8>)> = Vec::new(); // (code, payload)
-        for (c, k) in order {
+        accepted.clear();
+        accepted.resize(decoded.len(), None);
+        claimed.clear();
+        for &(c, k) in order.iter() {
             if accepted[c].is_some() {
                 continue;
             }
@@ -557,27 +679,30 @@ impl Receiver {
         // valid frame at timing hypotheses: the starts of accepted users
         // (tags share coarse timing) and the search-window origin, each
         // scanned over ±1 chip.
-        let accepted_starts: Vec<usize> = accepted
-            .iter()
-            .enumerate()
-            .filter_map(|(c, k)| k.map(|k| decoded[c][k].detection.start))
-            .collect();
+        accepted_starts.clear();
+        for (c, k) in accepted.iter().enumerate() {
+            if let Some(k) = k {
+                accepted_starts.push(decoded[c][*k].detection.start);
+            }
+        }
+        // The hypothesis set (accepted starts + window origin) and the
+        // ±1-chip offsets derived from it are identical for every still-
+        // missing code, so they are built once, in arena storage.
+        accepted_starts.push(window_start + back);
+        probe_offsets.clear();
+        for &h in accepted_starts.iter() {
+            for d in 0..=(2 * spc) {
+                let off = (h + d).saturating_sub(spc);
+                if !probe_offsets.contains(&off) {
+                    probe_offsets.push(off);
+                }
+            }
+        }
         for c in 0..decoded.len() {
             if accepted[c].is_some() {
                 continue;
             }
-            let mut hypotheses = accepted_starts.clone();
-            hypotheses.push(window_start + back);
-            let mut probe_offsets: Vec<usize> = Vec::new();
-            for h in hypotheses {
-                for d in 0..=(2 * spc) {
-                    let off = (h + d).saturating_sub(spc);
-                    if !probe_offsets.contains(&off) {
-                        probe_offsets.push(off);
-                    }
-                }
-            }
-            'probe: for off in probe_offsets {
+            'probe: for &off in probe_offsets.iter() {
                 telemetry.probes_attempted += 1;
                 let Some(det) = self.detector.probe(samples, off, c) else {
                     continue;
@@ -611,22 +736,23 @@ impl Receiver {
             }
         }
 
+        // The report owns its users, so moving them out is the one
+        // unavoidable (output-proportional) allocation of the frame path.
+        // `swap_remove` leaves the arena lists intact for the next
+        // capture's clear-and-refill.
         let mut users = Vec::new();
         let mut ack = AckMessage::new();
-        for (c, cands) in decoded.into_iter().enumerate() {
+        for (c, cands) in decoded.iter_mut().enumerate() {
             if cands.is_empty() {
                 continue;
             }
             if let Some(k) = accepted[c] {
                 ack.insert(c as u32);
-                users.push(cands.into_iter().nth(k).expect("accepted index is valid"));
+                users.push(cands.swap_remove(k));
             } else {
                 // No acceptable frame: report the strongest candidate,
                 // marking valid-but-duplicate decodes as alias suppressed.
-                let mut strongest = cands
-                    .into_iter()
-                    .next()
-                    .expect("candidate list is non-empty");
+                let mut strongest = cands.swap_remove(0);
                 if strongest.outcome.is_frame() {
                     telemetry.aliases_suppressed += 1;
                     strongest.outcome =
@@ -678,7 +804,7 @@ mod tests {
         let mut tag = Tag::new(1, Point::ORIGIN, codes[1].clone());
         let env = tag.transmit(b"temperature=21".to_vec(), &phy).unwrap();
         let buf = clean_capture(&[(env, Iq::from_polar(0.01, 0.4), 0)], 400);
-        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
         let report = rx.receive(&buf);
         assert!(report.frame_detected);
         assert_eq!(report.ack.len(), 1);
@@ -708,7 +834,7 @@ mod tests {
             decoder_kind: DecoderKind::Coherent,
             ..ReceiverConfig::default()
         };
-        let rx = Receiver::new(codes, phy, config);
+        let mut rx = Receiver::new(codes, phy, config);
         let report = rx.receive(&buf);
         assert!(report.ack.acknowledges(0), "{report:?}");
         assert!(report.ack.acknowledges(2));
@@ -721,7 +847,7 @@ mod tests {
     fn silence_reports_nothing() {
         let phy = PhyProfile::paper_default();
         let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
-        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
         let report = rx.receive(&vec![Iq::new(1e-6, 0.0); 4000]);
         assert!(!report.frame_detected);
         assert!(report.users.is_empty());
@@ -735,7 +861,7 @@ mod tests {
         let mut tag = Tag::new(0, Point::ORIGIN, codes[0].clone());
         let env = tag.transmit(b"x".to_vec(), &phy).unwrap();
         let buf = clean_capture(&[(env, Iq::new(0.01, 0.0), 0)], 400);
-        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
         let report = rx.receive(&buf);
         assert_eq!(report.detected_ids(), vec![0]);
     }
@@ -758,7 +884,7 @@ mod tests {
             ],
             400,
         );
-        let base = Receiver::new(codes.clone(), phy, ReceiverConfig::default());
+        let mut base = Receiver::new(codes.clone(), phy, ReceiverConfig::default());
         let without = base.receive(&buf);
         assert!(without.ack.acknowledges(0));
         assert!(
@@ -769,7 +895,7 @@ mod tests {
             sic_passes: 1,
             ..ReceiverConfig::default()
         };
-        let rx = Receiver::new(codes, phy, config);
+        let mut rx = Receiver::new(codes, phy, config);
         let with = rx.receive(&buf);
         assert!(with.ack.acknowledges(0));
         assert!(with.ack.acknowledges(1), "SIC should reveal the weak tag");
@@ -785,7 +911,7 @@ mod tests {
         let mut tag = Tag::new(1, Point::ORIGIN, codes[1].clone());
         let env = tag.transmit(b"telemetry".to_vec(), &phy).unwrap();
         let buf = clean_capture(&[(env, Iq::from_polar(0.01, 0.4), 0)], 400);
-        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
         let report = rx.receive(&buf);
         let t = &report.telemetry;
         assert!(report.frame_detected);
@@ -805,7 +931,7 @@ mod tests {
     fn telemetry_silence_still_times_frame_sync() {
         let phy = PhyProfile::paper_default();
         let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
-        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
         let report = rx.receive(&vec![Iq::new(1e-6, 0.0); 4000]);
         assert!(!report.frame_detected);
         assert!(report.telemetry.frame_sync_ns > 0);
@@ -857,7 +983,7 @@ mod tests {
             sic_passes: 2,
             ..ReceiverConfig::default()
         };
-        let rx = Receiver::new(codes, phy, config);
+        let mut rx = Receiver::new(codes, phy, config);
         let report = rx.receive(&buf);
         let t = &report.telemetry;
         assert!(t.sic_iterations >= 1, "{t:?}");

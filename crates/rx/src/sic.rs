@@ -17,6 +17,7 @@
 
 use cbma_codes::PnCode;
 use cbma_dsp::resample::upsample_repeat;
+use cbma_dsp::simd;
 use cbma_dsp::xcorr::RunningEnergy;
 use cbma_tag::encoder::spread;
 use cbma_tag::frame::Frame;
@@ -42,10 +43,24 @@ pub fn reconstruct_envelope(frame: &Frame, code: &PnCode, phy: &PhyProfile) -> V
 ///
 /// Returns the mean cancelled power per affected sample (diagnostic).
 pub fn cancel_user(samples: &mut [Iq], start: usize, envelope: &[f64], window: usize) -> f64 {
+    cancel_user_in(samples, start, envelope, window, &mut RunningEnergy::default())
+}
+
+/// [`cancel_user`] with a caller-owned prefix-sum arena: `env_energy` is
+/// rebuilt in place (grow-only) instead of allocated per capture, so a
+/// receiver cancelling users every capture performs no SIC-side heap
+/// traffic beyond the reconstruction itself.
+pub fn cancel_user_in(
+    samples: &mut [Iq],
+    start: usize,
+    envelope: &[f64],
+    window: usize,
+    env_energy: &mut RunningEnergy,
+) -> f64 {
     assert!(window > 0, "window must be non-zero");
     // One prefix-sum pass over the envelope gives every window's ⟨e, e⟩
     // in O(1) instead of a per-window summation.
-    let env_energy = RunningEnergy::from_real(envelope);
+    env_energy.rebuild_real(envelope);
     let mut cancelled_power = 0.0;
     let mut affected = 0usize;
     let mut pos = 0usize;
@@ -61,17 +76,12 @@ pub fn cancel_user(samples: &mut [Iq], start: usize, envelope: &[f64], window: u
 
         let energy = env_energy.power(pos, s_hi - s_lo);
         if energy > 0.0 {
-            let mut corr = Iq::ZERO;
-            for (s, &e) in seg.iter().zip(seg_env) {
-                corr += s.scale(e);
-            }
-            let gain = corr / energy;
-            for (s, &e) in seg.iter_mut().zip(seg_env) {
-                let est = gain.scale(e);
-                cancelled_power += est.power();
-                *s -= est;
-                affected += 1;
-            }
+            let gain = simd::dot_iq_real(seg, seg_env) / energy;
+            // Σ|gain·e|² = |gain|²·Σe², so the cancelled power needs no
+            // per-sample accumulation.
+            cancelled_power += gain.power() * energy;
+            simd::subtract_scaled_real(seg, seg_env, gain);
+            affected += seg_env.len();
         }
         pos = end;
     }

@@ -31,38 +31,94 @@
 use cbma_codes::PnCode;
 use cbma_dsp::correlate::{correlate_iq_bipolar, dot};
 use cbma_dsp::resample::upsample_repeat;
-use cbma_dsp::xcorr::{RunningEnergy, SlidingCorrelator};
+use cbma_dsp::simd;
+use cbma_dsp::xcorr::{BatchCorrelator, BatchScratch, RunningEnergy, SlidingCorrelator};
 use cbma_tag::frame::preamble_pattern;
 use cbma_tag::phy::PhyProfile;
 use cbma_types::Iq;
 
 use crate::decoder::DecoderKind;
 
-/// Minimum number of candidate lags for which the overlap-save FFT path
-/// beats the direct time-domain path at paper-default reference lengths
-/// (≈2 k samples). Below this the window is so short that the FFTs of the
+/// Minimum number of candidate lags for which the FFT engines beat the
+/// direct time-domain path at paper-default reference lengths (≈2 k
+/// samples). Below this the window is so short that the FFTs of the
 /// correlator's block cost more than the handful of direct dot products
 /// (direct ≈ lags·ref_len mults vs FFT ≈ 3·B·log₂B for a single compact
-/// block, break-even near lags ≈ 3·B·log₂B / ref_len ≈ 70 at B = 4096,
-/// L = 2048). Measured by the `user_detect` cases of the `bench_summary`
-/// runner in `cbma-bench` (release build): at the paper-default search
-/// window — 603 lags, 10 codes — the FFT path measures ≈6× faster than
-/// direct. 64 is a conservative round-down that is also safe for the
-/// short references of low-preamble profiles.
-pub const FFT_LAG_CROSSOVER: usize = 64;
+/// block — and the SIMD kernels speed *both* sides up, so the break-even
+/// moves less than either speedup alone suggests). Measured by the
+/// `user_detect` cases of the `bench_summary` runner in `cbma-bench`
+/// (release build, AVX2 kernels, permutation-free raw FFTs): at the
+/// paper-default search window — 603 lags, 10 codes — the batch engine
+/// measures ≈11× faster than direct (≈0.40 ms vs ≈4.5 ms); sweeping the
+/// window down, 10-code direct wins at 32 lags (≈0.24 ms vs ≈0.26 ms)
+/// and the shared-FFT pass wins from 48 lags (≈0.32 ms vs ≈0.35 ms),
+/// with roughly flat batch cost across the single-block regime — the
+/// crossing sits near 40 lags.
+pub const FFT_LAG_CROSSOVER: usize = 40;
 
 /// Which sliding-correlation backend [`UserDetector::detect_candidates_with`]
 /// uses to evaluate the per-lag correlation profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CorrelationPath {
-    /// Per code: FFT when the window offers at least
-    /// [`FFT_LAG_CROSSOVER`] lags, direct otherwise.
+    /// Batched shared-FFT pass when the references are uniform and the
+    /// window offers at least [`FFT_LAG_CROSSOVER`] lags, direct
+    /// otherwise.
     #[default]
     Auto,
     /// Always the O(lags × ref_len) time-domain path.
     Direct,
-    /// Always the overlap-save FFT engine.
+    /// Always the per-code overlap-save FFT engine.
     Fft,
+    /// Always the shared-FFT [`BatchCorrelator`] (one forward FFT per
+    /// block for all K codes). Falls back to the per-code FFT engine when
+    /// the reference lengths are not uniform.
+    Batch,
+}
+
+/// Reusable buffers for [`UserDetector::detect_candidates_in`].
+///
+/// Every intermediate the detector needs — the window prefix sums, the
+/// magnitude series, the batched correlation matrix, per-code FFT blocks,
+/// the raw/normalized profile and the peak lists — lives here and grows
+/// to a high-water mark on first use, so steady-state detection performs
+/// zero heap allocation.
+#[derive(Debug, Default)]
+pub struct DetectScratch {
+    running: RunningEnergy,
+    /// |s| magnitude series (envelope mode only).
+    mags: Vec<f64>,
+    /// The magnitude series as IQ, for the FFT engines (envelope mode).
+    mags_iq: Vec<Iq>,
+    /// K × lags correlation matrix from the batch engine.
+    batch: BatchScratch,
+    /// Per-code FFT block scratch.
+    work: Vec<Iq>,
+    /// Per-code complex correlation output.
+    corr: Vec<Iq>,
+    /// Per-lag decision statistic (raw, then normalized in place).
+    profile: Vec<f64>,
+    /// Above-threshold local maxima, then the NMS-selected subset.
+    peaks: Vec<(usize, f64)>,
+    selected: Vec<(usize, f64)>,
+}
+
+impl DetectScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> DetectScratch {
+        DetectScratch::default()
+    }
+
+    /// Total heap capacity held by the scratch, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        let iq = std::mem::size_of::<Iq>();
+        let pair = std::mem::size_of::<(usize, f64)>();
+        self.running.capacity_bytes()
+            + self.batch.capacity_bytes()
+            + self.mags.capacity() * std::mem::size_of::<f64>()
+            + (self.mags_iq.capacity() + self.work.capacity() + self.corr.capacity()) * iq
+            + self.profile.capacity() * std::mem::size_of::<f64>()
+            + (self.peaks.capacity() + self.selected.capacity()) * pair
+    }
 }
 
 /// Correlation of the mean-removed envelope of `seg` against `reference`,
@@ -110,6 +166,10 @@ pub struct UserDetector {
     /// Overlap-save FFT correlator per code, with the reference's
     /// conjugate spectrum cached at construction.
     correlators: Vec<SlidingCorrelator>,
+    /// Shared-FFT K-code engine: one forward FFT per block multiplied
+    /// against every cached reference spectrum. `None` when the spread
+    /// preambles do not share one length (mixed code families).
+    batch: Option<BatchCorrelator>,
     /// Σr² per code, precomputed for the normalization denominator.
     ref_energy: Vec<f64>,
     /// Σr per code, precomputed for the envelope mean correction.
@@ -179,9 +239,12 @@ impl UserDetector {
             ref_sum.push(sum);
             references.push(reference);
         }
+        let uniform = references.iter().all(|r| r.len() == references[0].len());
+        let batch = uniform.then(|| BatchCorrelator::new(&references));
         UserDetector {
             references,
             correlators,
+            batch,
             ref_energy,
             ref_sum,
             gain_scale,
@@ -224,11 +287,12 @@ impl UserDetector {
     }
 
     /// [`UserDetector::detect_candidates`] with an explicit correlation
-    /// backend. `Auto` (the default path) picks per code: FFT when the
-    /// window offers at least [`FFT_LAG_CROSSOVER`] candidate lags, direct
-    /// otherwise. Both backends produce identical detections (offsets and
-    /// gains exactly, correlations within FFT rounding ≈1e-12); `Direct`
-    /// and `Fft` exist for equivalence tests and benchmarks.
+    /// backend. `Auto` (the default path) runs the shared-FFT batch
+    /// engine when the window offers at least [`FFT_LAG_CROSSOVER`]
+    /// candidate lags, direct otherwise. All backends produce identical
+    /// detections (offsets and gains exactly, correlations within FFT
+    /// rounding ≈1e-12); `Direct`, `Fft` and `Batch` exist for
+    /// equivalence tests and benchmarks.
     pub fn detect_candidates_with(
         &self,
         window: &[Iq],
@@ -236,28 +300,86 @@ impl UserDetector {
         max_candidates: usize,
         path: CorrelationPath,
     ) -> Vec<Vec<DetectedUser>> {
+        let mut scratch = DetectScratch::new();
+        let mut out = Vec::new();
+        self.detect_candidates_in(window, window_origin, max_candidates, path, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free core of [`UserDetector::detect_candidates_with`]:
+    /// all intermediates live in `scratch`, and `out` is reused per code
+    /// (inner vectors are cleared, not dropped). Once both have reached
+    /// their high-water sizes a call performs zero heap allocation.
+    pub fn detect_candidates_in(
+        &self,
+        window: &[Iq],
+        window_origin: usize,
+        max_candidates: usize,
+        path: CorrelationPath,
+        scratch: &mut DetectScratch,
+        out: &mut Vec<Vec<DetectedUser>>,
+    ) {
+        out.truncate(self.references.len());
+        for v in out.iter_mut() {
+            v.clear();
+        }
+        out.resize_with(self.references.len(), Vec::new);
+        let DetectScratch {
+            running,
+            mags,
+            mags_iq,
+            batch,
+            work,
+            corr,
+            profile,
+            peaks,
+            selected,
+        } = scratch;
         // One prefix-sum pass over the window serves every code's per-lag
         // normalization: Σ|s|² for the coherent denominator, Σ|s| (mean)
         // and the mean-removed energy for the envelope statistic.
-        let running = RunningEnergy::new(window);
+        running.rebuild(window);
         // Envelope mode correlates the |s| magnitude series; materialize
-        // it once and share it across codes.
-        let mags: Option<Vec<f64>> = match self.kind {
-            DecoderKind::Envelope => Some(window.iter().map(|s| s.abs()).collect()),
-            DecoderKind::Coherent => None,
+        // it once (plus an IQ copy for the FFT engines) and share it
+        // across codes.
+        let envelope_mode = matches!(self.kind, DecoderKind::Envelope);
+        if envelope_mode {
+            mags.clear();
+            mags.resize(window.len(), 0.0);
+            simd::magnitudes_into(window, mags);
+            mags_iq.clear();
+            mags_iq.extend(mags.iter().map(|&v| Iq::new(v, 0.0)));
+        }
+        // The batch engine runs once for every code; decide up front.
+        let use_batch = match (path, &self.batch) {
+            (CorrelationPath::Direct | CorrelationPath::Fft, _) => false,
+            (_, None) => false,
+            (CorrelationPath::Batch, Some(b)) => window.len() >= b.reference_len(),
+            (CorrelationPath::Auto, Some(b)) => {
+                window.len() >= b.reference_len()
+                    && window.len() - b.reference_len() + 1 >= FFT_LAG_CROSSOVER
+            }
         };
-        let mut all = Vec::with_capacity(self.references.len());
+        if use_batch {
+            let engine = self.batch.as_ref().expect("checked above");
+            if envelope_mode {
+                engine.correlate_iq_into(mags_iq, batch);
+            } else {
+                engine.correlate_iq_into(window, batch);
+            }
+        }
         for (idx, reference) in self.references.iter().enumerate() {
             if reference.len() > window.len() {
-                all.push(Vec::new());
                 continue;
             }
             let len = reference.len();
             let lags = window.len() - len + 1;
             let use_fft = match path {
-                CorrelationPath::Auto => lags >= FFT_LAG_CROSSOVER,
+                CorrelationPath::Auto => !use_batch && lags >= FFT_LAG_CROSSOVER,
                 CorrelationPath::Direct => false,
                 CorrelationPath::Fft => true,
+                // Non-uniform references: per-code FFT stands in.
+                CorrelationPath::Batch => !use_batch,
             };
             let ref_energy = self.ref_energy[idx];
             let ref_sum = self.ref_sum[idx];
@@ -265,67 +387,72 @@ impl UserDetector {
             // mode takes |Σ s·r| (noncoherent magnitude of the complex
             // correlation); envelope mode takes |Σ(|s|−mean)·r| =
             // |Σ|s|·r − mean·Σr|, with the FFT supplying the Σ|s|·r term.
-            let raw: Vec<f64> = match (self.kind, use_fft) {
-                (DecoderKind::Coherent, false) => (0..lags)
-                    .map(|off| correlate_iq_bipolar(&window[off..off + len], reference).abs())
-                    .collect(),
-                (DecoderKind::Coherent, true) => self.correlators[idx]
-                    .correlate_iq(window)
-                    .into_iter()
-                    .map(|c| c.abs())
-                    .collect(),
-                (DecoderKind::Envelope, false) => {
-                    let mags = mags.as_deref().expect("envelope magnitudes");
-                    (0..lags)
-                        .map(|off| {
+            profile.clear();
+            if use_batch {
+                let row = batch.code(idx);
+                if envelope_mode {
+                    profile.extend(row.iter().enumerate().map(|(off, c)| {
+                        (c.re - running.mean_abs(off, len) * ref_sum).abs()
+                    }));
+                } else {
+                    profile.resize(lags, 0.0);
+                    simd::magnitudes_into(row, profile);
+                }
+            } else {
+                match (self.kind, use_fft) {
+                    (DecoderKind::Coherent, false) => profile.extend((0..lags).map(|off| {
+                        correlate_iq_bipolar(&window[off..off + len], reference).abs()
+                    })),
+                    (DecoderKind::Coherent, true) => {
+                        self.correlators[idx].correlate_iq_into(window, work, corr);
+                        profile.resize(lags, 0.0);
+                        simd::magnitudes_into(corr, profile);
+                    }
+                    (DecoderKind::Envelope, false) => {
+                        profile.extend((0..lags).map(|off| {
                             let mean = running.mean_abs(off, len);
                             (dot(&mags[off..off + len], reference) - mean * ref_sum).abs()
-                        })
-                        .collect()
+                        }));
+                    }
+                    (DecoderKind::Envelope, true) => {
+                        self.correlators[idx].correlate_iq_into(mags_iq, work, corr);
+                        profile.extend(corr.iter().enumerate().map(|(off, c)| {
+                            (c.re - running.mean_abs(off, len) * ref_sum).abs()
+                        }));
+                    }
                 }
-                (DecoderKind::Envelope, true) => {
-                    let mags = mags.as_deref().expect("envelope magnitudes");
-                    self.correlators[idx]
-                        .correlate_real(mags)
-                        .into_iter()
-                        .enumerate()
-                        .map(|(off, d)| (d - running.mean_abs(off, len) * ref_sum).abs())
-                        .collect()
-                }
-            };
-            debug_assert_eq!(raw.len(), lags);
-            // Sliding normalized correlation: normalize by the reference
-            // energy and the per-lag windowed signal energy (O(1) prefix
-            // lookups).
-            let profile: Vec<f64> = raw
-                .into_iter()
-                .enumerate()
-                .map(|(off, c)| {
-                    let seg_energy = match self.kind {
-                        DecoderKind::Coherent => running.power(off, len),
-                        DecoderKind::Envelope => running.centered_energy(off, len),
-                    };
-                    let denom = (seg_energy * ref_energy).sqrt();
-                    if denom > 0.0 { c / denom } else { 0.0 }
-                })
-                .collect();
+            }
+            debug_assert_eq!(profile.len(), lags);
+            // Sliding normalized correlation, in place: normalize by the
+            // reference energy and the per-lag windowed signal energy
+            // (O(1) prefix lookups).
+            for (off, c) in profile.iter_mut().enumerate() {
+                let seg_energy = match self.kind {
+                    DecoderKind::Coherent => running.power(off, len),
+                    DecoderKind::Envelope => running.centered_energy(off, len),
+                };
+                let denom = (seg_energy * ref_energy).sqrt();
+                *c = if denom > 0.0 { *c / denom } else { 0.0 };
+            }
             // Local maxima above threshold, non-maximum-suppressed over a
             // ±one-chip neighbourhood (candidates one chip apart are
             // genuinely different alignments the decoder must test),
             // strongest first.
             let nms_radius = self.samples_per_chip.max(2);
-            let mut peaks: Vec<(usize, f64)> = (0..profile.len())
-                .filter(|&i| {
-                    let v = profile[i];
-                    v >= self.threshold
-                        && (i == 0 || profile[i - 1] <= v)
-                        && (i + 1 == profile.len() || profile[i + 1] < v)
-                })
-                .map(|i| (i, profile[i]))
-                .collect();
+            peaks.clear();
+            peaks.extend(
+                (0..profile.len())
+                    .filter(|&i| {
+                        let v = profile[i];
+                        v >= self.threshold
+                            && (i == 0 || profile[i - 1] <= v)
+                            && (i + 1 == profile.len() || profile[i + 1] < v)
+                    })
+                    .map(|i| (i, profile[i])),
+            );
             peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-            let mut selected: Vec<(usize, f64)> = Vec::new();
-            for (off, val) in peaks {
+            selected.clear();
+            for &(off, val) in peaks.iter() {
                 if selected.iter().all(|&(o, _)| off.abs_diff(o) >= nms_radius) {
                     selected.push((off, val));
                     if selected.len() >= max_candidates {
@@ -333,22 +460,17 @@ impl UserDetector {
                     }
                 }
             }
-            let candidates = selected
-                .into_iter()
-                .map(|(off, val)| {
-                    let seg = &window[off..off + reference.len()];
-                    let gain = self.gain_estimate(seg, reference, idx);
-                    DetectedUser {
-                        code_index: idx,
-                        start: window_origin + off,
-                        correlation: val,
-                        channel_gain: gain,
-                    }
-                })
-                .collect();
-            all.push(candidates);
+            out[idx].extend(selected.iter().map(|&(off, val)| {
+                let seg = &window[off..off + reference.len()];
+                let gain = self.gain_estimate(seg, reference, idx);
+                DetectedUser {
+                    code_index: idx,
+                    start: window_origin + off,
+                    correlation: val,
+                    channel_gain: gain,
+                }
+            }));
         }
-        all
     }
 
     /// Probes one exact alignment for one code: computes the normalized

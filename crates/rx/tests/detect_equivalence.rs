@@ -2,8 +2,8 @@
 //!
 //! The overlap-save engine must be a pure optimization: across random
 //! PHY profiles, code counts, window contents and window lengths
-//! (including windows shorter than the reference), `Direct`, `Fft` and
-//! `Auto` must report the same candidates — identical code indices and
+//! (including windows shorter than the reference), `Direct`, `Fft`, `Batch`
+//! (the shared-FFT K-code engine) and `Auto` must report the same candidates — identical code indices and
 //! start offsets, correlations within 1e-9, channel gains within 1e-9.
 
 use cbma_codes::{CodeFamily, GoldFamily, PnCode};
@@ -125,8 +125,10 @@ proptest! {
 
         let direct = det.detect_candidates_with(&window, 13, 4, CorrelationPath::Direct);
         let fft = det.detect_candidates_with(&window, 13, 4, CorrelationPath::Fft);
+        let batch = det.detect_candidates_with(&window, 13, 4, CorrelationPath::Batch);
         let auto = det.detect_candidates_with(&window, 13, 4, CorrelationPath::Auto);
         assert_same(&direct, &fft, "direct vs fft")?;
+        assert_same(&direct, &batch, "direct vs batch")?;
         assert_same(&direct, &auto, "direct vs auto")?;
         if wlen < ref_len {
             prop_assert!(direct.iter().all(Vec::is_empty));
@@ -150,6 +152,7 @@ fn all_zero_window_yields_no_candidates_on_both_paths() {
         for path in [
             CorrelationPath::Direct,
             CorrelationPath::Fft,
+            CorrelationPath::Batch,
             CorrelationPath::Auto,
         ] {
             let out = det.detect_candidates_with(&window, 0, 4, path);
@@ -173,6 +176,7 @@ fn window_shorter_than_reference_is_empty_on_both_paths() {
     for path in [
         CorrelationPath::Direct,
         CorrelationPath::Fft,
+        CorrelationPath::Batch,
         CorrelationPath::Auto,
     ] {
         let out = det.detect_candidates_with(&window, 0, 2, path);

@@ -25,7 +25,12 @@ use serde::{Deserialize, Serialize};
 
 /// A complex baseband sample with in-phase (`re`) and quadrature (`im`)
 /// components.
+///
+/// The layout is `#[repr(C)]` — two consecutive `f64`s — so DSP kernels
+/// may reinterpret an `&[Iq]` as an interleaved `&[f64]` of twice the
+/// length (see `cbma_dsp::simd`).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Iq {
     /// In-phase component.
     pub re: f64,

@@ -1,6 +1,6 @@
 //! Property-based integration tests over the public API.
 
-use cbma::codes::{CodeFamily, FamilyKind};
+use cbma::codes::FamilyKind;
 use cbma::prelude::*;
 use cbma::rx::{Receiver, ReceiverConfig};
 use cbma::tag::{frame::Frame, PhyProfile, Tag};
@@ -28,7 +28,7 @@ proptest! {
         iq.extend(envelope.iter().map(|&e| gain.scale(e)));
         iq.extend(vec![Iq::ZERO; 64]);
 
-        let rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
         let report = rx.receive(&iq);
         prop_assert!(report.ack.acknowledges(code_index as u32), "{report:?}");
         let frames = report.frames();

@@ -21,7 +21,7 @@ fn receiver(kind: DecoderKind, sic: usize) -> Receiver {
 #[test]
 fn empty_and_tiny_buffers_are_handled() {
     for kind in [DecoderKind::Coherent, DecoderKind::Envelope] {
-        let rx = receiver(kind, 1);
+        let mut rx = receiver(kind, 1);
         for len in [0usize, 1, 7, 63, 200] {
             let report = rx.receive(&vec![Iq::ZERO; len]);
             assert!(report.ack.is_empty(), "{kind:?} len {len}: {report:?}");
@@ -33,7 +33,7 @@ fn empty_and_tiny_buffers_are_handled() {
 fn pure_noise_produces_no_valid_frames() {
     let mut rng = StdRng::seed_from_u64(0xBAD);
     for kind in [DecoderKind::Coherent, DecoderKind::Envelope] {
-        let rx = receiver(kind, 1);
+        let mut rx = receiver(kind, 1);
         for trial in 0..5 {
             let buf: Vec<Iq> = (0..20_000)
                 .map(|_| Iq::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
@@ -52,7 +52,7 @@ fn pure_noise_produces_no_valid_frames() {
 fn impulsive_garbage_is_survivable() {
     // Spikes, steps, and saturated runs — the energy detector and
     // correlators must not panic or false-decode.
-    let rx = receiver(DecoderKind::Coherent, 2);
+    let mut rx = receiver(DecoderKind::Coherent, 2);
     let mut buf = vec![Iq::ZERO; 8000];
     for i in (0..8000).step_by(97) {
         buf[i] = Iq::new(1e6, -1e6);
@@ -75,7 +75,7 @@ fn truncated_frames_report_truncation_not_garbage() {
     // Cut the frame off mid-payload.
     buf.truncate(400 + env.len() / 2);
 
-    let rx = receiver(DecoderKind::Coherent, 0);
+    let mut rx = receiver(DecoderKind::Coherent, 0);
     let report = rx.receive(&buf);
     assert!(!report.ack.acknowledges(0), "truncated frame must not ACK");
 }
@@ -92,7 +92,7 @@ fn receiver_is_pure_across_calls() {
     buf.extend(env.iter().map(|&e| Iq::new(0.01 * e, 0.0)));
     buf.extend(vec![Iq::ZERO; 64]);
 
-    let rx = receiver(DecoderKind::Coherent, 1);
+    let mut rx = receiver(DecoderKind::Coherent, 1);
     let first = rx.receive(&buf);
     let mut rng = StdRng::seed_from_u64(1);
     let noise: Vec<Iq> = (0..5000)
