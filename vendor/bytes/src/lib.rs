@@ -1,0 +1,5 @@
+//! Offline stand-in for `bytes`: declared as a dependency but unused in
+//! workspace code, so the minimal aliases below are enough to resolve.
+
+pub type Bytes = Vec<u8>;
+pub type BytesMut = Vec<u8>;

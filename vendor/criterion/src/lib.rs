@@ -1,0 +1,111 @@
+//! Offline stand-in for criterion 0.5: compiles the workspace's bench
+//! targets and runs each routine a handful of times so `cargo bench`
+//! smoke-checks, without any statistics machinery.
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        eprintln!("bench {id}: ~{} ns/iter (stub)", b.last_ns);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    last_ns: u128,
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = std::time::Instant::now();
+        for _ in 0..3 {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() / 3;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = std::time::Instant::now();
+        for _ in 0..3 {
+            let input = setup();
+            black_box(f(input));
+        }
+        self.last_ns = start.elapsed().as_nanos() / 3;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        for _ in 0..3 {
+            let mut input = setup();
+            black_box(f(&mut input));
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $f(&mut c); )+
+        }
+    };
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            $( $g(); )+
+        }
+    };
+}

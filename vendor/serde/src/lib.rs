@@ -1,0 +1,8 @@
+//! Offline stand-in for serde: empty marker traits plus the no-op
+//! derives. Nothing in the workspace calls serialization at runtime.
+
+pub trait Serialize {}
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

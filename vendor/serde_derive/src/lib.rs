@@ -1,0 +1,15 @@
+//! No-op derive macros standing in for serde_derive in offline builds.
+//! The workspace only uses serde for its derives (no serializer is ever
+//! invoked), so expanding to nothing type-checks everything that matters.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
