@@ -173,13 +173,38 @@ fn main() {
     write_pipeline_obs();
 }
 
+/// The 4-tag paper-default deployment both observability benches run.
+fn obs_scenario() -> Scenario {
+    Scenario::paper_default(vec![
+        Point::new(0.0, 0.35),
+        Point::new(0.25, -0.40),
+        Point::new(-0.30, 0.45),
+        Point::new(0.40, 0.55),
+    ])
+    .with_seed(7)
+}
+
+/// One timed pass of `rounds` under an observability configuration.
+/// Rounds are stateful, so every pass rebuilds the engine from the same
+/// seed. Callers interleave passes across configurations and keep the
+/// per-config minimum, so slow phases (frequency ramps, preemption) hit
+/// every configuration instead of biasing whichever ran first.
+fn obs_ns_per_round_once(rounds: usize, setup: impl Fn(&mut Engine)) -> f64 {
+    let mut engine = Engine::new(obs_scenario()).expect("paper-default scenario is valid");
+    setup(&mut engine);
+    let t = Instant::now();
+    std::hint::black_box(engine.run_rounds(rounds));
+    t.elapsed().as_nanos() as f64 / rounds as f64
+}
+
 /// Runs a short paper-default deployment with full observability attached
 /// (metrics registry + recording sink) and exports the merged snapshot as
 /// `BENCH_pipeline_obs.json`: per-stage timing histograms (`cbma.rx.stage.*`,
-/// `cbma.sim.round_ns`), domain counters and the structured round-event
-/// stream, so CI can diff pipeline behaviour — not just speed.
+/// `cbma.sim.round_ns`), domain counters, the structured round-event
+/// stream and an observability-overhead A/B, so CI can diff pipeline
+/// behaviour — not just speed.
 fn write_pipeline_obs() {
-    use cbma::obs::{FieldValue, MetricsRegistry, RecordingSink};
+    use cbma::obs::{FieldValue, MetricsRegistry, RecordingSink, Tracer};
     use std::collections::BTreeMap;
     use std::sync::Arc;
 
@@ -187,14 +212,7 @@ fn write_pipeline_obs() {
 
     let registry = MetricsRegistry::new();
     let sink = Arc::new(RecordingSink::new());
-    let scenario = Scenario::paper_default(vec![
-        Point::new(0.0, 0.35),
-        Point::new(0.25, -0.40),
-        Point::new(-0.30, 0.45),
-        Point::new(0.40, 0.55),
-    ])
-    .with_seed(7);
-    let mut engine = Engine::new(scenario).expect("paper-default scenario is valid");
+    let mut engine = Engine::new(obs_scenario()).expect("paper-default scenario is valid");
     engine.attach_observability(&registry);
     engine.set_sink(sink.clone());
     let stats = engine.run_rounds(ROUNDS);
@@ -220,6 +238,33 @@ fn write_pipeline_obs() {
         }
     }
 
+    // Observability overhead A/B over the identical deployment: detached
+    // registry vs attached-with-NoopSink vs full recording (event sink +
+    // span tracer). The first two should be indistinguishable — that is
+    // the branch-per-stage guarantee the receive path is built around;
+    // the ratios land in the artifact for trend-watching, not as a gate.
+    const OVERHEAD_ROUNDS: usize = 24;
+    let mut detached_ns = f64::INFINITY;
+    let mut noop_ns = f64::INFINITY;
+    let mut recording_ns = f64::INFINITY;
+    for _ in 0..3 {
+        detached_ns = detached_ns.min(obs_ns_per_round_once(OVERHEAD_ROUNDS, |_| {}));
+        noop_ns = noop_ns.min(obs_ns_per_round_once(OVERHEAD_ROUNDS, |engine| {
+            engine.attach_observability(&MetricsRegistry::new());
+        }));
+        recording_ns = recording_ns.min(obs_ns_per_round_once(OVERHEAD_ROUNDS, |engine| {
+            engine.attach_observability(&MetricsRegistry::new());
+            engine.set_sink(Arc::new(RecordingSink::new()));
+            engine.attach_tracer(&Tracer::new(1 << 16));
+        }));
+    }
+    println!(
+        "obs overhead: detached {detached_ns:.0} ns/round, noop {noop_ns:.0} ns/round \
+({:.3}x), recording {recording_ns:.0} ns/round ({:.3}x)",
+        noop_ns / detached_ns,
+        recording_ns / detached_ns
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"rounds\": {ROUNDS},");
     let _ = writeln!(json, "  \"tags\": 4,");
@@ -237,6 +282,22 @@ fn write_pipeline_obs() {
         "  \"delivered_per_round\": {:?},",
         delivered_per_round
     );
+    json.push_str("  \"obs_overhead\": {\n");
+    let _ = writeln!(json, "    \"rounds\": {OVERHEAD_ROUNDS},");
+    let _ = writeln!(json, "    \"detached_ns_per_round\": {detached_ns:.1},");
+    let _ = writeln!(json, "    \"noop_ns_per_round\": {noop_ns:.1},");
+    let _ = writeln!(json, "    \"recording_ns_per_round\": {recording_ns:.1},");
+    let _ = writeln!(
+        json,
+        "    \"noop_over_detached\": {:.4},",
+        noop_ns / detached_ns
+    );
+    let _ = writeln!(
+        json,
+        "    \"recording_over_detached\": {:.4}",
+        recording_ns / detached_ns
+    );
+    json.push_str("  },\n");
     // The full metrics snapshot, re-indented two levels into the artifact.
     json.push_str("  \"metrics\": ");
     for (i, line) in metrics_json.lines().enumerate() {

@@ -25,6 +25,7 @@
 //! `crates/dsp/tests/xcorr.rs` and `crates/rx/tests/detect_equivalence.rs`
 //! pin the two paths together within 1e-9.
 
+use cbma_obs::trace::{SpanId, TraceId, Tracer};
 use cbma_types::{CbmaError, Iq, Result};
 
 use crate::simd;
@@ -730,6 +731,30 @@ impl BatchCorrelator {
     /// [`BatchScratch::code`]). Steady-state calls are allocation-free
     /// once the scratch has reached its high-water size.
     pub fn correlate_iq_into(&self, samples: &[Iq], scratch: &mut BatchScratch) {
+        self.correlate_iq_into_impl(samples, scratch, None);
+    }
+
+    /// [`BatchCorrelator::correlate_iq_into`] with span instrumentation:
+    /// each overlap-save block records an `fft_block` child span (arg =
+    /// block index) under `parent`. The untraced entry point shares this
+    /// body with `trace = None`, which costs one branch per block.
+    pub fn correlate_iq_into_traced(
+        &self,
+        samples: &[Iq],
+        scratch: &mut BatchScratch,
+        tracer: &Tracer,
+        trace: TraceId,
+        parent: SpanId,
+    ) {
+        self.correlate_iq_into_impl(samples, scratch, Some((tracer, trace, parent)));
+    }
+
+    fn correlate_iq_into_impl(
+        &self,
+        samples: &[Iq],
+        scratch: &mut BatchScratch,
+        trace: Option<(&Tracer, TraceId, SpanId)>,
+    ) {
         scratch.codes = self.codes;
         if samples.len() < self.ref_len {
             scratch.lags = 0;
@@ -746,7 +771,13 @@ impl BatchCorrelator {
         scratch.out.clear();
         scratch.out.resize(self.codes * lags, Iq::ZERO);
         let mut pos = 0;
+        let mut block_index = 0u64;
         while pos < lags {
+            let _span = trace.map(|(tracer, trace, parent)| {
+                let mut span = tracer.span(trace, Some(parent), "fft_block");
+                span.set_arg(block_index);
+                span
+            });
             let take = (samples.len() - pos).min(block.fft_size);
             scratch.win[..take].copy_from_slice(&samples[pos..pos + take]);
             for x in scratch.win[take..].iter_mut() {
@@ -765,6 +796,7 @@ impl BatchCorrelator {
                 scratch.out[row..row + valid].copy_from_slice(&scratch.work[..valid]);
             }
             pos += block.block_out;
+            block_index += 1;
         }
     }
 }

@@ -21,12 +21,14 @@
 pub mod campaign;
 pub mod campaigns;
 pub mod checkpoint;
+pub mod live;
 pub mod manifest;
 pub mod runner;
 pub mod tier;
 
 pub use campaign::{Campaign, CampaignPoint, JobCtx, PointBuilder};
 pub use checkpoint::{CheckpointHeader, CheckpointStore};
+pub use live::{LiveAggregator, LiveConfig, LivePublisher, LiveUpdate};
 pub use manifest::{CampaignManifest, ManifestError, Measurement, PointResult, SCHEMA_VERSION};
 pub use runner::{job_seed, run_campaign, HarnessError, RunnerConfig};
 pub use tier::Tier;

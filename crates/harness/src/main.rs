@@ -3,6 +3,7 @@
 //! ```text
 //! cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]...
 //!              [--seed N] [--workers N] [--fresh] [--list]
+//!              [--live] [--trace-out FILE]
 //! ```
 //!
 //! Runs the selected campaigns (default: all built-ins) at the selected
@@ -10,11 +11,23 @@
 //! one `<out>/<campaign>.<tier>.json` manifest per campaign. Re-running
 //! after an interruption resumes from the checkpoints; `--fresh` wipes
 //! them first.
+//!
+//! `--live` streams progress to a rolling `<out>/live.json` (atomically
+//! replaced, safe to poll) plus a stderr progress line, and verifies on
+//! exit that the final live rollup agrees byte-for-byte with the
+//! manifests. `--trace-out FILE` records one instrumented round of the
+//! first selected campaign's first point and writes a Chrome
+//! trace-event JSON viewable in Perfetto / `chrome://tracing`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cbma_harness::{campaigns, run_campaign, RunnerConfig, Tier};
+use cbma::obs::json::JsonValue;
+use cbma::obs::Tracer;
+use cbma_harness::{
+    campaigns, job_seed, run_campaign, CampaignManifest, JobCtx, LiveAggregator, LiveConfig,
+    RunnerConfig, Tier,
+};
 
 struct Cli {
     tier: Tier,
@@ -24,10 +37,12 @@ struct Cli {
     workers: Option<usize>,
     fresh: bool,
     list: bool,
+    live: bool,
+    trace_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]... \
-[--seed N] [--workers N] [--fresh] [--list]";
+[--seed N] [--workers N] [--fresh] [--list] [--live] [--trace-out FILE]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -38,6 +53,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         workers: None,
         fresh: false,
         list: false,
+        live: false,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -68,6 +85,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--fresh" => cli.fresh = true,
             "--list" => cli.list = true,
+            "--live" => cli.live = true,
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -115,6 +134,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let aggregator = if cli.live {
+        let mut live_cfg = LiveConfig::new(cli.out.join("live.json"));
+        live_cfg.progress = true;
+        match LiveAggregator::start(live_cfg) {
+            Ok(agg) => Some(agg),
+            Err(e) => {
+                eprintln!("cannot start live aggregator: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut manifests: Vec<CampaignManifest> = Vec::new();
     for name in &names {
         let Some(campaign) = campaigns::by_name(name, cli.tier) else {
             eprintln!(
@@ -135,6 +169,7 @@ fn main() -> ExitCode {
         let mut cfg = RunnerConfig {
             root_seed: cli.seed,
             checkpoint_dir: Some(checkpoint_dir),
+            live: aggregator.as_ref().map(LiveAggregator::publisher),
             ..RunnerConfig::default()
         };
         if let Some(w) = cli.workers {
@@ -178,8 +213,92 @@ fn main() -> ExitCode {
             hi * 100.0,
             started.elapsed().as_secs_f64()
         );
+        manifests.push(manifest);
+    }
+
+    if let Some(path) = &cli.trace_out {
+        if let Err(msg) = write_trace(path, &names[0], cli.tier, cli.seed) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  wrote {} (Chrome trace-event JSON)", path.display());
+    }
+
+    if let Some(agg) = aggregator {
+        let live_path = agg.path().clone();
+        if let Err(e) = agg.finish() {
+            eprintln!("live aggregator failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(msg) = verify_live(&live_path, &manifests) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "  live snapshot {} agrees with the manifests",
+            live_path.display()
+        );
     }
     ExitCode::SUCCESS
+}
+
+/// Records one fully-instrumented round of `name`'s first point and
+/// writes a Chrome trace-event document for Perfetto.
+fn write_trace(path: &PathBuf, name: &str, tier: Tier, seed: u64) -> Result<(), String> {
+    let campaign =
+        campaigns::by_name(name, tier).ok_or_else(|| format!("unknown campaign {name:?}"))?;
+    let point = campaign
+        .points
+        .first()
+        .ok_or_else(|| format!("campaign {name} has no points"))?;
+    let tracer = Tracer::new(8192);
+    let ctx = JobCtx {
+        seed: job_seed(seed, campaign.name, &point.label, 0),
+        replicate: 0,
+    };
+    let mut engine = (point.builder)(ctx);
+    engine.attach_tracer(&tracer);
+    engine.run_round();
+    std::fs::write(path, tracer.chrome_trace(None))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Asserts the final live rollup matches every manifest's merged
+/// snapshot byte-for-byte (both sides are timing-stripped already).
+fn verify_live(path: &PathBuf, manifests: &[CampaignManifest]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let v = JsonValue::parse(&text)
+        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let campaigns_obj = v
+        .as_object()
+        .and_then(|o| o.get("campaigns"))
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| format!("{}: missing campaigns object", path.display()))?;
+    for m in manifests {
+        let live_merged = campaigns_obj
+            .get(&m.campaign)
+            .and_then(JsonValue::as_object)
+            .and_then(|c| c.get("merged_snapshot"))
+            .ok_or_else(|| {
+                format!(
+                    "{}: campaign {} missing merged_snapshot",
+                    path.display(),
+                    m.campaign
+                )
+            })?
+            .to_json();
+        let manifest_merged = JsonValue::parse(&m.merged_snapshot().to_json())
+            .expect("snapshot serialization is valid JSON")
+            .to_json();
+        if live_merged != manifest_merged {
+            return Err(format!(
+                "live snapshot for campaign {} diverges from the manifest rollup",
+                m.campaign
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -196,14 +315,15 @@ mod tests {
         assert_eq!(cli.tier, Tier::Fast);
         assert!(cli.names.is_empty());
         assert_eq!(cli.out, PathBuf::from("manifests"));
-        assert!(!cli.fresh && !cli.list);
+        assert!(!cli.fresh && !cli.list && !cli.live);
+        assert_eq!(cli.trace_out, None);
     }
 
     #[test]
     fn parses_full_invocation() {
         let cli = parse_cli(&args(&[
             "--tier", "full", "--out", "m", "--campaign", "fig11", "--campaign", "fig12",
-            "--seed", "99", "--workers", "3", "--fresh",
+            "--seed", "99", "--workers", "3", "--fresh", "--live", "--trace-out", "t.json",
         ]))
         .unwrap();
         assert_eq!(cli.tier, Tier::Full);
@@ -212,6 +332,8 @@ mod tests {
         assert_eq!(cli.seed, 99);
         assert_eq!(cli.workers, Some(3));
         assert!(cli.fresh);
+        assert!(cli.live);
+        assert_eq!(cli.trace_out, Some(PathBuf::from("t.json")));
     }
 
     #[test]

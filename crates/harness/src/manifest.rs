@@ -301,6 +301,19 @@ pub struct CampaignManifest {
 }
 
 impl CampaignManifest {
+    /// All per-point snapshots merged in grid order — the campaign-wide
+    /// observability rollup. Point snapshots are timing-stripped before
+    /// embedding and `Snapshot::merge` is order-insensitive, so this
+    /// matches the final `merged_snapshot` a live aggregator converges
+    /// to byte-for-byte.
+    pub fn merged_snapshot(&self) -> Snapshot {
+        let mut merged = Snapshot::new();
+        for p in &self.points {
+            merged.merge(&p.snapshot);
+        }
+        merged
+    }
+
     /// The JSON tree.
     pub fn to_json_value(&self) -> JsonValue {
         let mut o = BTreeMap::new();

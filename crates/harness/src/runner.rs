@@ -17,13 +17,14 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cbma::obs::MetricsRegistry;
 use cbma_types::SeedSequence;
 
 use crate::campaign::{Campaign, JobCtx};
 use crate::checkpoint::{CheckpointHeader, CheckpointStore};
+use crate::live::{LivePublisher, LiveUpdate};
 use crate::manifest::{CampaignManifest, Measurement, PointResult, SCHEMA_VERSION};
 
 /// A campaign run that could not complete.
@@ -88,6 +89,10 @@ pub struct RunnerConfig {
     pub max_backoff: Duration,
     /// Where to checkpoint completed points; `None` disables resume.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Live telemetry sink; workers publish replicate/point completions
+    /// here. `None` (the default) disables live streaming and costs
+    /// nothing on the measurement path.
+    pub live: Option<LivePublisher>,
 }
 
 impl Default for RunnerConfig {
@@ -101,6 +106,7 @@ impl Default for RunnerConfig {
             base_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
             checkpoint_dir: None,
+            live: None,
         }
     }
 }
@@ -126,7 +132,14 @@ pub fn job_seed(root_seed: u64, campaign: &str, point_label: &str, replicate: us
 }
 
 /// Measures one point: all replicates, one shared metrics registry.
-fn measure_point(campaign: &Campaign, index: usize, root_seed: u64) -> PointResult {
+/// When a live publisher is supplied, every completed replicate streams
+/// the point's cumulative timing-stripped snapshot.
+fn measure_point(
+    campaign: &Campaign,
+    index: usize,
+    root_seed: u64,
+    live: Option<&LivePublisher>,
+) -> PointResult {
     let point = &campaign.points[index];
     let registry = MetricsRegistry::new();
     let mut totals = Measurement::default();
@@ -141,6 +154,16 @@ fn measure_point(campaign: &Campaign, index: usize, root_seed: u64) -> PointResu
         let m = Measurement::from_engine(&mut engine, campaign.rounds);
         replicate_fers.push(m.fer());
         totals.merge(&m);
+        if let Some(live) = live {
+            live.publish(LiveUpdate::ReplicateDone {
+                campaign: campaign.name.to_string(),
+                point_index: index,
+                label: point.label.clone(),
+                replicates_done: replicate + 1,
+                totals,
+                snapshot: registry.snapshot().without_timings(),
+            });
+        }
     }
     PointResult {
         index,
@@ -162,7 +185,7 @@ fn measure_point_with_retry(
     let mut last_panic = String::new();
     for attempt in 1..=cfg.max_attempts.max(1) {
         let run = panic::catch_unwind(AssertUnwindSafe(|| {
-            measure_point(campaign, index, cfg.root_seed)
+            measure_point(campaign, index, cfg.root_seed, cfg.live.as_ref())
         }));
         match run {
             Ok(result) => return Ok(result),
@@ -227,6 +250,16 @@ pub fn run_campaign(
     let store = store.as_ref();
 
     let n_points = campaign.points.len();
+    if let Some(live) = &cfg.live {
+        live.publish(LiveUpdate::CampaignStarted {
+            campaign: campaign.name.to_string(),
+            tier: campaign.tier.to_string(),
+            points_total: n_points,
+            replicates: campaign.replicates as u64,
+            rounds: campaign.rounds as u64,
+            workers: cfg.workers.max(1).min(n_points.max(1)),
+        });
+    }
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let workers = cfg.workers.max(1).min(n_points.max(1));
@@ -248,23 +281,37 @@ pub fn run_campaign(
                                 break;
                             }
                             let label = &campaign.points[index].label;
-                            let result = match store.and_then(|s| s.load(index, label)) {
-                                Some(cached) => cached,
-                                None => {
-                                    let computed =
-                                        measure_point_with_retry(campaign, index, cfg)
-                                            .inspect_err(|_| {
+                            let point_started = Instant::now();
+                            let (result, from_checkpoint) =
+                                match store.and_then(|s| s.load(index, label)) {
+                                    Some(cached) => (cached, true),
+                                    None => {
+                                        let computed =
+                                            measure_point_with_retry(campaign, index, cfg)
+                                                .inspect_err(|_| {
+                                                    failed.store(true, Ordering::Relaxed);
+                                                })?;
+                                        if let Some(s) = store {
+                                            s.store(&computed).map_err(|e| {
                                                 failed.store(true, Ordering::Relaxed);
+                                                HarnessError::Io(e)
                                             })?;
-                                    if let Some(s) = store {
-                                        s.store(&computed).map_err(|e| {
-                                            failed.store(true, Ordering::Relaxed);
-                                            HarnessError::Io(e)
-                                        })?;
+                                        }
+                                        (computed, false)
                                     }
-                                    computed
-                                }
-                            };
+                                };
+                            if let Some(live) = &cfg.live {
+                                live.publish(LiveUpdate::PointDone {
+                                    campaign: campaign.name.to_string(),
+                                    point_index: index,
+                                    label: result.label.clone(),
+                                    totals: result.totals,
+                                    snapshot: result.snapshot.clone(),
+                                    replicate_fers: result.replicate_fers.clone(),
+                                    secs: point_started.elapsed().as_secs_f64(),
+                                    from_checkpoint,
+                                });
+                            }
                             mine.push(result);
                         }
                         Ok(mine)
@@ -345,6 +392,7 @@ mod tests {
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(4),
             checkpoint_dir: None,
+            live: None,
         }
     }
 
@@ -426,6 +474,45 @@ mod tests {
             }
             other => panic!("expected PointFailed, got {other}"),
         }
+    }
+
+    #[test]
+    fn live_stream_converges_to_the_manifest_snapshot() {
+        use crate::live::{LiveAggregator, LiveConfig};
+        let path = std::env::temp_dir().join(format!(
+            "cbma-runner-live-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let agg = LiveAggregator::start(LiveConfig::new(&path)).unwrap();
+
+        let campaign = tiny_campaign(3);
+        let mut config = cfg(2);
+        config.live = Some(agg.publisher());
+        let manifest = run_campaign(&campaign, &config).unwrap();
+        drop(config); // hang up the publisher clone
+        agg.finish().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = JsonValue::parse(&text).unwrap();
+        let c = v
+            .as_object()
+            .unwrap()
+            .get("campaigns")
+            .and_then(JsonValue::as_object)
+            .unwrap()
+            .get("tiny")
+            .and_then(JsonValue::as_object)
+            .unwrap();
+        assert_eq!(c.get("points_done").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(c.get("points_total").and_then(JsonValue::as_u64), Some(3));
+        // The live rollup must agree with the manifest byte-for-byte.
+        let live_merged = c.get("merged_snapshot").unwrap().to_json();
+        let manifest_merged = JsonValue::parse(&manifest.merged_snapshot().to_json())
+            .unwrap()
+            .to_json();
+        assert_eq!(live_merged, manifest_merged);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

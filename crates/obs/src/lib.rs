@@ -21,6 +21,10 @@
 //!   reports `enabled() == false`, so instrumented call sites guard with
 //!   one virtual call and skip event construction entirely; the hot path
 //!   with the no-op sink costs nothing beyond that boolean.
+//! * [`Tracer`] — hierarchical span trees (capture → stage → kernel) in a
+//!   bounded lock-free ring, exported as Chrome trace-event JSON for
+//!   Perfetto/`chrome://tracing` ([`Tracer::chrome_trace`]). Like sinks,
+//!   tracing is opt-in: uninstrumented paths pay one `Option` branch.
 //!
 //! [`MetricsRegistry::snapshot`] freezes everything into a [`Snapshot`]
 //! that serializes to JSON ([`Snapshot::to_json`] /
@@ -61,11 +65,15 @@
 
 pub mod json;
 pub mod metrics;
+pub mod quantile;
 pub mod sink;
 pub mod snapshot;
 pub mod timer;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use quantile::Quantiles;
 pub use sink::{Event, FieldValue, NoopSink, RecordingSink, Sink};
 pub use snapshot::{HistogramSnapshot, Snapshot, SnapshotError};
 pub use timer::StageTimer;
+pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};

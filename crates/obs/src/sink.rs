@@ -16,6 +16,7 @@
 //! engine rely on. [`RecordingSink`] keeps every event in memory for
 //! tests, examples and the bench artifacts.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Mutex;
 
@@ -148,41 +149,93 @@ impl Sink for NoopSink {
 }
 
 /// An in-memory sink for tests, examples and bench artifacts.
+///
+/// Unbounded by default; [`RecordingSink::bounded`] caps retention with
+/// ring semantics (oldest events evicted first) so a long instrumented
+/// campaign cannot grow memory without limit. [`RecordingSink::dropped`]
+/// counts evictions.
 #[derive(Debug, Default)]
 pub struct RecordingSink {
-    events: Mutex<Vec<Event>>,
+    inner: Mutex<RecordingInner>,
+}
+
+#[derive(Debug, Default)]
+struct RecordingInner {
+    events: VecDeque<Event>,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl RecordingSink {
-    /// An empty recording sink.
+    /// An empty, unbounded recording sink.
     pub fn new() -> RecordingSink {
         RecordingSink::default()
     }
 
-    /// A copy of every event recorded so far.
+    /// A sink retaining at most `capacity` events; once full, each new
+    /// event evicts the oldest retained one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn bounded(capacity: usize) -> RecordingSink {
+        assert!(capacity > 0, "recording sink capacity must be positive");
+        RecordingSink {
+            inner: Mutex::new(RecordingInner {
+                events: VecDeque::with_capacity(capacity),
+                capacity: Some(capacity),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The retention cap, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().expect("sink poisoned").capacity
+    }
+
+    /// Events evicted so far by the retention cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("sink poisoned").dropped
+    }
+
+    /// A copy of every retained event, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("sink poisoned").clone()
+        self.inner
+            .lock()
+            .expect("sink poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
     }
 
-    /// Number of events recorded.
+    /// Number of events retained.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("sink poisoned").len()
+        self.inner.lock().expect("sink poisoned").events.len()
     }
 
-    /// Whether no events have been recorded.
+    /// Whether no events are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drains the recorded events.
+    /// Drains the retained events, oldest first.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.lock().expect("sink poisoned"))
+        std::mem::take(&mut self.inner.lock().expect("sink poisoned").events).into()
     }
 }
 
 impl Sink for RecordingSink {
     fn record(&self, event: Event) {
-        self.events.lock().expect("sink poisoned").push(event);
+        let mut inner = self.inner.lock().expect("sink poisoned");
+        if let Some(capacity) = inner.capacity {
+            while inner.events.len() >= capacity {
+                inner.events.pop_front();
+                inner.dropped += 1;
+            }
+        }
+        inner.events.push_back(event);
     }
 }
 
@@ -210,6 +263,41 @@ mod tests {
         assert_eq!(events[1].field("ok"), Some(&FieldValue::Bool(true)));
         assert_eq!(sink.take().len(), 2);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn bounded_sink_evicts_oldest_first() {
+        let sink = RecordingSink::bounded(3);
+        assert_eq!(sink.capacity(), Some(3));
+        for i in 0..5u64 {
+            sink.record(Event::new(format!("e{i}")));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4"], "oldest events evicted first");
+        // Draining preserves order and keeps the eviction count.
+        let drained: Vec<String> = sink.take().into_iter().map(|e| e.name).collect();
+        assert_eq!(drained, vec!["e2", "e3", "e4"]);
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn unbounded_sink_never_drops() {
+        let sink = RecordingSink::new();
+        assert_eq!(sink.capacity(), None);
+        for i in 0..100u64 {
+            sink.record(Event::new("e").with("i", i));
+        }
+        assert_eq!(sink.len(), 100);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_sink_panics() {
+        let _ = RecordingSink::bounded(0);
     }
 
     #[test]

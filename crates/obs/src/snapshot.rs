@@ -104,14 +104,21 @@ impl Snapshot {
     /// Merges another snapshot: counters and histogram contents add;
     /// gauges keep the **maximum** (across sweep workers a gauge is a
     /// high-water mark — there is no meaningful "last" writer).
+    ///
+    /// Merging is commutative and associative, so shards can be folded
+    /// in any order and any partition and produce the same snapshot —
+    /// the property the live aggregator and the multi-process sharding
+    /// plan both rely on.
     pub fn merge(&mut self, other: &Snapshot) {
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
         }
         for (name, value) in &other.gauges {
-            let entry = self.gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
-            if *value > *entry || entry.is_nan() {
-                *entry = *value;
+            match self.gauges.get_mut(name) {
+                Some(entry) => *entry = merge_gauge(*entry, *value),
+                None => {
+                    self.gauges.insert(name.clone(), *value);
+                }
             }
         }
         for (name, hist) in &other.histograms {
@@ -182,8 +189,14 @@ impl Snapshot {
             out.push_str("    ");
             write_json_string(&mut out, name);
             out.push_str(&format!(
-                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
-                hist.count, hist.sum, hist.min, hist.max
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                hist.count,
+                hist.sum,
+                hist.min,
+                hist.max,
+                hist.quantile(0.50).unwrap_or(0),
+                hist.quantile(0.90).unwrap_or(0),
+                hist.quantile(0.99).unwrap_or(0)
             ));
             for (j, (idx, n)) in hist.buckets.iter().enumerate() {
                 if j > 0 {
@@ -246,6 +259,22 @@ impl Snapshot {
             }
         }
         Ok(snapshot)
+    }
+}
+
+/// Commutative, NaN-tolerant gauge merge: the larger finite value wins,
+/// a `NaN` loses to anything, and ties (including `-0.0` vs `0.0`) are
+/// broken by `total_cmp` so the result — and its serialization — is
+/// independent of merge order.
+fn merge_gauge(a: f64, b: f64) -> f64 {
+    if a.is_nan() {
+        b
+    } else if b.is_nan() {
+        a
+    } else if a.total_cmp(&b) == std::cmp::Ordering::Less {
+        b
+    } else {
+        a
     }
 }
 
@@ -401,6 +430,49 @@ mod tests {
         assert_eq!(filtered.gauges, snap.gauges);
         // Round-trips like any other snapshot.
         assert_eq!(Snapshot::from_json(&filtered.to_json()).unwrap(), filtered);
+    }
+
+    #[test]
+    fn gauge_merge_is_commutative_even_with_nan() {
+        let cases: &[(f64, f64)] = &[
+            (1.0, 2.0),
+            (f64::NAN, 2.0),
+            (2.0, f64::NAN),
+            (f64::NAN, f64::NAN),
+            (-0.0, 0.0),
+            (f64::NEG_INFINITY, -1.0),
+        ];
+        for &(x, y) in cases {
+            let mut a = Snapshot::new();
+            a.gauges.insert("g".into(), x);
+            let mut b = Snapshot::new();
+            b.gauges.insert("g".into(), y);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            // Byte-identical serialization regardless of merge order.
+            assert_eq!(ab.to_json(), ba.to_json(), "merge({x}, {y}) order-dependent");
+        }
+        // NaN merged into an empty snapshot must not conjure -inf.
+        let mut empty = Snapshot::new();
+        let mut nan = Snapshot::new();
+        nan.gauges.insert("g".into(), f64::NAN);
+        empty.merge(&nan);
+        assert!(empty.gauges["g"].is_nan());
+    }
+
+    #[test]
+    fn histogram_json_exports_quantiles() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"p50\": "));
+        assert!(json.contains("\"p90\": "));
+        assert!(json.contains("\"p99\": "));
+        // Quantile keys are derived, not stored: the parse ignores them
+        // and the round-trip stays a fixed point.
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed.to_json(), json);
     }
 
     #[test]

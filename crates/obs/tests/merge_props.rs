@@ -1,0 +1,145 @@
+//! Property tests for the shard-merge and quantile-export semantics the
+//! harness leans on: per-shard snapshots must merge to the same bytes in
+//! any order or partition (work-stealing never changes the manifest),
+//! and exported quantiles must agree with a naive sorted-sample oracle
+//! up to bucket resolution.
+
+use cbma_obs::{Histogram, MetricsRegistry, Snapshot};
+use proptest::prelude::*;
+
+const COUNTER_NAMES: [&str; 3] = ["cbma.a.count", "cbma.b.count", "cbma.c.count"];
+const GAUGE_NAMES: [&str; 2] = ["cbma.a.level", "cbma.b.level"];
+const HIST_NAMES: [&str; 2] = ["cbma.a.size", "cbma.b.stage_ns"];
+
+/// One shard's worth of raw metric activity.
+#[derive(Debug, Clone)]
+struct ShardOps {
+    counters: Vec<(usize, u64)>,
+    gauges: Vec<(usize, f64)>,
+    samples: Vec<(usize, u64)>,
+}
+
+fn shard_strategy() -> impl Strategy<Value = ShardOps> {
+    (
+        proptest::collection::vec((0usize..COUNTER_NAMES.len(), 0u64..1000), 0..8),
+        proptest::collection::vec((0usize..GAUGE_NAMES.len(), -1e9f64..1e9), 0..8),
+        proptest::collection::vec((0usize..HIST_NAMES.len(), 0u64..1u64 << 40), 0..12),
+    )
+        .prop_map(|(counters, gauges, samples)| ShardOps {
+            counters,
+            gauges,
+            samples,
+        })
+}
+
+/// Replays a shard's operations into a fresh registry and freezes it.
+fn shard_snapshot(ops: &ShardOps) -> Snapshot {
+    let registry = MetricsRegistry::new();
+    for &(i, n) in &ops.counters {
+        registry.counter(COUNTER_NAMES[i]).add(n);
+    }
+    for &(i, level) in &ops.gauges {
+        registry.gauge(GAUGE_NAMES[i]).set(level);
+    }
+    for &(i, v) in &ops.samples {
+        registry.histogram(HIST_NAMES[i]).record(v);
+    }
+    registry.snapshot()
+}
+
+/// Merges the shards into one snapshot in the given visit order.
+fn merge_in_order(shards: &[Snapshot], order: &[usize]) -> Snapshot {
+    let mut merged = Snapshot::new();
+    for &i in order {
+        merged.merge(&shards[i]);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shard merge is order-insensitive: grid order, reverse order and
+    /// an arbitrary rotation all serialize to identical bytes after
+    /// timing-stripping — exactly what makes harness manifests
+    /// byte-stable under work stealing.
+    #[test]
+    fn shard_merge_is_order_insensitive(
+        shards in proptest::collection::vec(shard_strategy(), 1..6),
+        rotate in any::<usize>(),
+    ) {
+        let snaps: Vec<Snapshot> = shards.iter().map(shard_snapshot).collect();
+        let forward: Vec<usize> = (0..snaps.len()).collect();
+        let mut reverse = forward.clone();
+        reverse.reverse();
+        let mut rotated = forward.clone();
+        rotated.rotate_left(rotate % snaps.len().max(1));
+
+        let base = merge_in_order(&snaps, &forward).without_timings().to_json();
+        let rev = merge_in_order(&snaps, &reverse).without_timings().to_json();
+        let rot = merge_in_order(&snaps, &rotated).without_timings().to_json();
+        prop_assert_eq!(&base, &rev);
+        prop_assert_eq!(&base, &rot);
+    }
+
+    /// Shard merge is partition-insensitive: merging each shard directly
+    /// into the total equals first combining shards pairwise into
+    /// sub-aggregates and merging those — so live aggregation (partial
+    /// rollups) converges to the same bytes as the final manifest pass.
+    #[test]
+    fn shard_merge_is_partition_insensitive(
+        shards in proptest::collection::vec(shard_strategy(), 2..7),
+        split in any::<usize>(),
+    ) {
+        let snaps: Vec<Snapshot> = shards.iter().map(shard_snapshot).collect();
+        let flat: Vec<usize> = (0..snaps.len()).collect();
+        let direct = merge_in_order(&snaps, &flat).without_timings().to_json();
+
+        let cut = 1 + split % (snaps.len() - 1);
+        let mut left = Snapshot::new();
+        for s in &snaps[..cut] {
+            left.merge(s);
+        }
+        let mut right = Snapshot::new();
+        for s in &snaps[cut..] {
+            right.merge(s);
+        }
+        let mut combined = Snapshot::new();
+        combined.merge(&left);
+        combined.merge(&right);
+        prop_assert_eq!(&direct, &combined.without_timings().to_json());
+    }
+
+    /// Exported quantiles agree with a naive nearest-rank oracle over
+    /// the raw samples: identical bucket (log₂ resolution) always, and
+    /// exact equality at the envelope (min/max).
+    #[test]
+    fn quantile_estimates_match_the_sorted_sample_oracle(
+        samples in proptest::collection::vec(
+            prop_oneof![0u64..64, 0u64..100_000, 0u64..1u64 << 50],
+            1..200,
+        ),
+    ) {
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = snap.quantile(q).unwrap();
+            let oracle = sorted[(q * (sorted.len() - 1) as f64).floor() as usize];
+            prop_assert_eq!(
+                Histogram::bucket_index(est),
+                Histogram::bucket_index(oracle),
+                "q={} est={} oracle={}", q, est, oracle
+            );
+            prop_assert!(est >= snap.min && est <= snap.max);
+        }
+        // The envelope is exact, not just bucket-accurate.
+        prop_assert_eq!(snap.quantile(0.0), Some(sorted[0]));
+        prop_assert_eq!(snap.quantile(1.0), Some(*sorted.last().unwrap()));
+    }
+}

@@ -36,6 +36,7 @@ use std::time::Instant;
 
 use cbma_codes::PnCode;
 use cbma_dsp::xcorr::RunningEnergy;
+use cbma_obs::trace::{SpanId, TraceId, Tracer};
 use cbma_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use cbma_tag::frame::Frame;
 use cbma_tag::phy::PhyProfile;
@@ -365,9 +366,19 @@ pub struct Receiver {
     leading_silence_chips: usize,
     /// Registered metric handles, when observability is attached.
     metrics: Option<RxMetrics>,
+    /// Span recorder, when tracing is attached (see
+    /// [`Receiver::attach_tracer`]).
+    tracer: Option<Tracer>,
+    /// Parent span for the *next* capture only, set by the engine so the
+    /// capture span nests under its round span; consumed per receive.
+    trace_parent: Option<(TraceId, SpanId)>,
     /// Reusable pipeline working memory (see [`RxScratch`]).
     scratch: RxScratch,
 }
+
+/// Per-capture trace context threaded through the pipeline stages:
+/// `(tracer, trace id, parent span)`. `None` on the untraced path.
+type TraceCtx<'a> = Option<(&'a Tracer, TraceId, SpanId)>;
 
 impl Receiver {
     /// Builds a receiver that knows the full code set of the deployment.
@@ -402,6 +413,8 @@ impl Receiver {
             decoders,
             leading_silence_chips,
             metrics: None,
+            tracer: None,
+            trace_parent: None,
             scratch,
         }
     }
@@ -415,6 +428,24 @@ impl Receiver {
     /// filled — it costs a handful of monotonic clock reads).
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.metrics = Some(RxMetrics::register(registry));
+    }
+
+    /// Attaches a span tracer: every subsequent [`Receiver::receive`]
+    /// records a `capture` span tree (capture → frame_sync / user_detect /
+    /// decode / sic → per-code `correlate` and `fft_block` kernels) into
+    /// the tracer's ring. Without this call the receive path pays one
+    /// `Option` branch per stage and records nothing — the same
+    /// NoopSink-is-free guarantee the metric handles follow.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
+    }
+
+    /// Nests the *next* capture's `capture` span under an existing span
+    /// (the engine's per-round span). Consumed by the next
+    /// [`Receiver::receive`]; without it each capture starts a fresh
+    /// trace. No-op until a tracer is attached.
+    pub fn set_trace_parent(&mut self, trace: TraceId, parent: SpanId) {
+        self.trace_parent = Some((trace, parent));
     }
 
     /// The PHY profile the receiver is configured for.
@@ -441,15 +472,33 @@ impl Receiver {
     /// captures and only output-proportional allocation when frames
     /// decode.
     pub fn receive(&mut self, samples: &[Iq]) -> RxReport {
-        let mut report = self.receive_once(samples);
+        // The tracer is cloned to a local so the trace context can borrow
+        // it across the `&mut self` pipeline calls below.
+        let tracer = self.tracer.clone();
+        let capture_span = tracer.as_ref().map(|t| {
+            let (trace, parent) = match self.trace_parent.take() {
+                Some((trace, parent)) => (trace, Some(parent)),
+                None => (t.new_trace(), None),
+            };
+            (trace, t.span(trace, parent, "capture"))
+        });
+        let trace: TraceCtx = capture_span
+            .as_ref()
+            .map(|(trace, span)| (tracer.as_ref().expect("span implies tracer"), *trace, span.id()));
+        let mut report = self.receive_once(samples, trace);
         if self.config.sic_passes > 0 {
             let sic_start = Instant::now();
+            let sic_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "sic"));
+            let sic_trace: TraceCtx = trace
+                .zip(sic_span.as_ref())
+                .map(|((t, tr, _), span)| (t, tr, span.id()));
             for _ in 0..self.config.sic_passes {
                 report.telemetry.sic_iterations += 1;
-                if !self.sic_pass(samples, &mut report) {
+                if !self.sic_pass(samples, &mut report, sic_trace) {
                     break;
                 }
             }
+            drop(sic_span);
             report.telemetry.sic_ns =
                 sic_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         }
@@ -468,7 +517,7 @@ impl Receiver {
     /// One SIC pass: subtract every decoded user, re-run the pipeline on
     /// the residual, and adopt newly decoded codes. Returns whether the
     /// report changed.
-    fn sic_pass(&mut self, samples: &[Iq], report: &mut RxReport) -> bool {
+    fn sic_pass(&mut self, samples: &[Iq], report: &mut RxReport, trace: TraceCtx) -> bool {
         let decoded_count = report.users.iter().filter(|u| u.outcome.is_frame()).count();
         if decoded_count == 0 || decoded_count == self.codes.len() {
             return false;
@@ -503,7 +552,7 @@ impl Receiver {
                 residual.iter().map(|s| s.power()).sum::<f64>() / residual.len() as f64;
         }
 
-        let rerun = self.receive_once(&residual);
+        let rerun = self.receive_once(&residual, trace);
         self.scratch.residual = residual;
         report.telemetry.absorb(&rerun.telemetry);
         let mut changed = false;
@@ -540,11 +589,16 @@ impl Receiver {
         changed
     }
 
-    /// Runs the detection/decode pipeline once (no SIC).
-    fn receive_once(&mut self, samples: &[Iq]) -> RxReport {
+    /// Runs the detection/decode pipeline once (no SIC). `trace` is the
+    /// parent context the stage spans nest under — the capture span on
+    /// the first run, the `sic` span on cancellation re-runs, `None` when
+    /// no tracer is attached (one branch per stage).
+    fn receive_once(&mut self, samples: &[Iq], trace: TraceCtx) -> RxReport {
         let mut telemetry = RxTelemetry::default();
         let stage_start = Instant::now();
+        let sync_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "frame_sync"));
         let edge = self.sync.best_edge_in(samples, &mut self.scratch.sync);
+        drop(sync_span);
         telemetry.frame_sync_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let Some(edge) = edge else {
             return RxReport {
@@ -583,14 +637,30 @@ impl Receiver {
             probe_offsets,
             ..
         } = &mut self.scratch;
-        self.detector.detect_candidates_in(
-            window,
-            window_start,
-            8,
-            CorrelationPath::Auto,
-            detect,
-            candidates,
-        );
+        match trace {
+            Some((tracer, tr, parent)) => {
+                let span = tracer.span(tr, Some(parent), "user_detect");
+                self.detector.detect_candidates_traced(
+                    window,
+                    window_start,
+                    8,
+                    CorrelationPath::Auto,
+                    detect,
+                    candidates,
+                    tracer,
+                    tr,
+                    span.id(),
+                );
+            }
+            None => self.detector.detect_candidates_in(
+                window,
+                window_start,
+                8,
+                CorrelationPath::Auto,
+                detect,
+                candidates,
+            ),
+        }
         telemetry.user_detect_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         telemetry.candidates_evaluated = candidates.iter().map(Vec::len).sum();
         for det in candidates.iter().flatten() {
@@ -601,6 +671,7 @@ impl Receiver {
         }
 
         let stage_start = Instant::now();
+        let _decode_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "decode"));
 
         // Phase 1: decode every sync candidate of every code. The decode
         // lists are arena-owned: cleared per capture, capacity retained.
@@ -990,6 +1061,83 @@ mod tests {
         assert!(t.sic_ns > 0, "{t:?}");
         assert_eq!(t.sic_recovered, 1, "{t:?}");
         assert!(t.sic_residual_energy > 0.0, "{t:?}");
+    }
+
+    #[test]
+    fn attached_tracer_records_capture_span_tree() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+        let mut tag = Tag::new(1, Point::ORIGIN, codes[1].clone());
+        let env = tag.transmit(b"trace me".to_vec(), &phy).unwrap();
+        let buf = clean_capture(&[(env, Iq::from_polar(0.01, 0.4), 0)], 400);
+        let tracer = Tracer::new(1024);
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        rx.attach_tracer(&tracer);
+        let report = rx.receive(&buf);
+        assert!(report.ack.acknowledges(1));
+
+        let spans = tracer.spans();
+        let capture = spans
+            .iter()
+            .find(|s| s.name == "capture")
+            .expect("capture root span");
+        assert_eq!(capture.parent, 0, "capture is a root span");
+        let stage = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} span missing"))
+        };
+        for name in ["frame_sync", "user_detect", "decode"] {
+            assert_eq!(stage(name).parent, capture.span, "{name} under capture");
+            assert_eq!(stage(name).trace, capture.trace);
+        }
+        // One correlate kernel span per code, nested under user_detect.
+        let correlates: Vec<_> = spans.iter().filter(|s| s.name == "correlate").collect();
+        assert_eq!(correlates.len(), 3);
+        for (k, c) in correlates.iter().enumerate() {
+            assert_eq!(c.parent, stage("user_detect").span);
+            assert_eq!(c.arg, Some(k as u64));
+        }
+        // Sibling stages do not overlap (sequential pipeline).
+        let fs = stage("frame_sync");
+        let ud = stage("user_detect");
+        let de = stage("decode");
+        assert!(fs.start_ns + fs.dur_ns <= ud.start_ns);
+        assert!(ud.start_ns + ud.dur_ns <= de.start_ns);
+        // A second receive starts a fresh trace.
+        rx.receive(&buf);
+        let traces: std::collections::BTreeSet<u64> =
+            tracer.spans().iter().map(|s| s.trace).collect();
+        assert_eq!(traces.len(), 2);
+    }
+
+    #[test]
+    fn set_trace_parent_nests_capture_under_external_span() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+        let tracer = Tracer::new(256);
+        let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
+        rx.attach_tracer(&tracer);
+        let trace = tracer.new_trace();
+        let round = tracer.span(trace, None, "round");
+        rx.set_trace_parent(trace, round.id());
+        rx.receive(&vec![Iq::new(1e-6, 0.0); 4000]);
+        round.finish();
+        let spans = tracer.spans();
+        let capture = spans.iter().find(|s| s.name == "capture").unwrap();
+        let round = spans.iter().find(|s| s.name == "round").unwrap();
+        assert_eq!(capture.parent, round.span);
+        assert_eq!(capture.trace, round.trace);
+        // The parent is consumed: the next capture is a fresh root trace.
+        rx.receive(&vec![Iq::new(1e-6, 0.0); 4000]);
+        let spans = tracer.spans();
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "capture" && s.parent == 0)
+            .collect();
+        assert_eq!(roots.len(), 1);
+        assert_ne!(roots[0].trace, round.trace);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use cbma_codes::PnCode;
 use cbma_dsp::correlate::{correlate_iq_bipolar, dot};
+use cbma_obs::trace::{SpanId, TraceId, Tracer};
 use cbma_dsp::resample::upsample_repeat;
 use cbma_dsp::simd;
 use cbma_dsp::xcorr::{BatchCorrelator, BatchScratch, RunningEnergy, SlidingCorrelator};
@@ -319,6 +320,50 @@ impl UserDetector {
         scratch: &mut DetectScratch,
         out: &mut Vec<Vec<DetectedUser>>,
     ) {
+        self.detect_candidates_impl(window, window_origin, max_candidates, path, scratch, out, None);
+    }
+
+    /// [`UserDetector::detect_candidates_in`] with span instrumentation:
+    /// the shared-FFT pass records a `batch_correlate` child span (with
+    /// `fft_block` grandchildren from the engine) and every per-code
+    /// profile scan records a `correlate` span (arg = code index) under
+    /// `parent`. The untraced entry point shares this body with
+    /// `trace = None`, which costs one branch per code.
+    #[allow(clippy::too_many_arguments)]
+    pub fn detect_candidates_traced(
+        &self,
+        window: &[Iq],
+        window_origin: usize,
+        max_candidates: usize,
+        path: CorrelationPath,
+        scratch: &mut DetectScratch,
+        out: &mut Vec<Vec<DetectedUser>>,
+        tracer: &Tracer,
+        trace: TraceId,
+        parent: SpanId,
+    ) {
+        self.detect_candidates_impl(
+            window,
+            window_origin,
+            max_candidates,
+            path,
+            scratch,
+            out,
+            Some((tracer, trace, parent)),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn detect_candidates_impl(
+        &self,
+        window: &[Iq],
+        window_origin: usize,
+        max_candidates: usize,
+        path: CorrelationPath,
+        scratch: &mut DetectScratch,
+        out: &mut Vec<Vec<DetectedUser>>,
+        trace: Option<(&Tracer, TraceId, SpanId)>,
+    ) {
         out.truncate(self.references.len());
         for v in out.iter_mut() {
             v.clear();
@@ -362,16 +407,24 @@ impl UserDetector {
         };
         if use_batch {
             let engine = self.batch.as_ref().expect("checked above");
-            if envelope_mode {
-                engine.correlate_iq_into(mags_iq, batch);
-            } else {
-                engine.correlate_iq_into(window, batch);
+            let input: &[Iq] = if envelope_mode { mags_iq } else { window };
+            match trace {
+                Some((tracer, trace, parent)) => {
+                    let span = tracer.span(trace, Some(parent), "batch_correlate");
+                    engine.correlate_iq_into_traced(input, batch, tracer, trace, span.id());
+                }
+                None => engine.correlate_iq_into(input, batch),
             }
         }
         for (idx, reference) in self.references.iter().enumerate() {
             if reference.len() > window.len() {
                 continue;
             }
+            let _code_span = trace.map(|(tracer, trace, parent)| {
+                let mut span = tracer.span(trace, Some(parent), "correlate");
+                span.set_arg(idx as u64);
+                span
+            });
             let len = reference.len();
             let lags = window.len() - len + 1;
             let use_fft = match path {

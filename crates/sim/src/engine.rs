@@ -13,7 +13,7 @@ use std::time::Instant;
 use rand::Rng;
 
 use cbma_channel::mixer::{Mixer, TagSignal};
-use cbma_obs::{Counter, Event, Gauge, Histogram, MetricsRegistry, NoopSink, Sink};
+use cbma_obs::{Counter, Event, Gauge, Histogram, MetricsRegistry, NoopSink, Sink, Tracer};
 use cbma_rx::{Receiver, RxReport};
 use cbma_tag::{ImpedanceBank, Tag};
 use cbma_types::geometry::Point;
@@ -128,6 +128,9 @@ pub struct Engine {
     sink: Arc<dyn Sink>,
     /// Registered metric handles, when observability is attached.
     metrics: Option<SimMetrics>,
+    /// Span recorder, when tracing is attached (see
+    /// [`Engine::attach_tracer`]).
+    tracer: Option<Tracer>,
 }
 
 impl Engine {
@@ -171,6 +174,7 @@ impl Engine {
             capture_iq: false,
             sink: Arc::new(NoopSink),
             metrics: None,
+            tracer: None,
         })
     }
 
@@ -186,6 +190,15 @@ impl Engine {
     pub fn attach_observability(&mut self, registry: &MetricsRegistry) {
         self.metrics = Some(SimMetrics::register(registry));
         self.receiver.attach_metrics(registry);
+    }
+
+    /// Attaches a span tracer: every subsequent round records a `round`
+    /// root span, with the receiver wired so its `capture` span tree
+    /// (stages and correlation kernels) nests underneath. Each round is
+    /// its own trace. Without this call rounds pay one `Option` branch.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
+        self.receiver.attach_tracer(tracer);
     }
 
     /// Replaces the event sink. Rounds emit `cbma.sim.round` events and
@@ -260,6 +273,16 @@ impl Engine {
         let round_start = Instant::now();
         let round = self.round;
         self.round += 1;
+        // The guard owns a tracer clone, so the later `&mut self` receiver
+        // call is unencumbered; dropping it at function end closes the
+        // round span around the whole round.
+        let _round_span = self.tracer.clone().map(|tracer| {
+            let trace = tracer.new_trace();
+            let mut span = tracer.span(trace, None, "round");
+            span.set_arg(round);
+            self.receiver.set_trace_parent(trace, span.id());
+            span
+        });
         let round_seq = self.seq.child(&format!("round-{round}"));
         let mut chan_rng = round_seq.rng("channel");
         let mut fault_rng = round_seq.rng("faults");
@@ -661,6 +684,33 @@ mod tests {
             events[0].field("delivered"),
             Some(&FieldValue::List(vec![0, 1]))
         );
+    }
+
+    #[test]
+    fn attached_tracer_nests_captures_under_round_spans() {
+        let tracer = Tracer::new(4096);
+        let mut engine = Engine::new(Scenario::clean(near_positions(2))).unwrap();
+        engine.attach_tracer(&tracer);
+        engine.run_rounds(2);
+
+        let spans = tracer.spans();
+        let rounds: Vec<_> = spans.iter().filter(|s| s.name == "round").collect();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].arg, Some(0));
+        assert_eq!(rounds[1].arg, Some(1));
+        // Each round is its own trace, with its capture span nested inside.
+        for round in rounds {
+            let capture = spans
+                .iter()
+                .find(|s| s.name == "capture" && s.trace == round.trace)
+                .expect("capture span in round trace");
+            assert_eq!(capture.parent, round.span);
+            assert!(capture.start_ns >= round.start_ns);
+            assert!(capture.start_ns + capture.dur_ns <= round.start_ns + round.dur_ns);
+        }
+        // The export is one valid Chrome trace-event document.
+        let json = tracer.chrome_trace(None);
+        assert!(cbma_obs::json::JsonValue::parse(&json).is_ok());
     }
 
     #[test]
