@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use cbma::codes::{CodeFamily, TwoNcFamily};
 use cbma::prelude::*;
-use cbma::rx::{CorrelationPath, Decoder, DecoderKind, DetectScratch, UserDetector};
+use cbma::rx::{
+    CorrelationPath, Decoder, DecoderKind, DetectScratch, MultiDetectScratch, UserDetector,
+};
 use cbma::tag::{encoder::spread, modulator::ook_envelope, PhyProfile, Tag};
 
 fn bench_correlation(c: &mut Criterion) {
@@ -49,6 +51,19 @@ fn bench_correlation(c: &mut Criterion) {
                 &mut scratch,
                 &mut out,
             );
+            out.len()
+        })
+    });
+    // Coalesced multi-window matrix pass: four identical windows share
+    // one set of forward transforms (one iteration scans all four, so
+    // divide by 4 to compare per window with `user_detect_batch`).
+    c.bench_function("user_detect_multiwindow_w4", |b| {
+        let windows: Vec<&[Iq]> = (0..4).map(|_| &buf[350..3000]).collect();
+        let origins = vec![350usize; 4];
+        let mut scratch = MultiDetectScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            detector.detect_candidates_multi(&windows, &origins, 8, &mut scratch, &mut out);
             out.len()
         })
     });

@@ -14,10 +14,10 @@
 //!    across all cases estimates the machine-speed factor, and a case
 //!    fails only when its own `r` exceeds `median · (1 + tolerance)` —
 //!    i.e. it got slower *relative to everything else in the same run*.
-//! 2. **Same-run speedup ratios.** `fft_speedup_over_direct` and
-//!    `batch_speedup_over_fft` are ratios of two measurements on the same
-//!    host, so they transfer across machines; each must stay above
-//!    `baseline · (1 − tolerance)`.
+//! 2. **Same-run speedup ratios.** `fft_speedup_over_direct`,
+//!    `batch_speedup_over_fft` and `multiwindow_speedup_over_batch` are
+//!    ratios of two measurements on the same host, so they transfer
+//!    across machines; each must stay above `baseline · (1 − tolerance)`.
 //!
 //! Usage: `bench_gate [baseline.json] [candidate.json]`; the tolerance
 //! can be overridden with `CBMA_BENCH_GATE_TOLERANCE` (e.g. `0.25`).
@@ -144,7 +144,11 @@ fn main() -> ExitCode {
         );
     }
 
-    for key in ["fft_speedup_over_direct", "batch_speedup_over_fft"] {
+    for key in [
+        "fft_speedup_over_direct",
+        "batch_speedup_over_fft",
+        "multiwindow_speedup_over_batch",
+    ] {
         let (Some(&base), Some(&cand)) = (baseline.ratios.get(key), candidate.ratios.get(key))
         else {
             failures.push(format!("{key}: missing from baseline or candidate"));

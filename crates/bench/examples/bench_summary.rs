@@ -14,6 +14,10 @@
 //!   `cbma::rx::FFT_LAG_CROSSOVER` constant; `batch` is the shared-FFT
 //!   K-code engine (one forward transform per overlap-save block for all
 //!   ten codes),
+//! * `user_detect_multiwindow` — the coalesced W=4 multi-window matrix
+//!   pass, normalized to ns per window (backs the
+//!   `multiwindow_speedup_over_batch` and `realtime_factor_multiwindow`
+//!   headline numbers),
 //! * `periodic_xcorr_{direct,fft}_n*` — circular code-family correlation
 //!   at several sequence lengths, which picked
 //!   `cbma::dsp::correlate::PERIODIC_FFT_CROSSOVER`.
@@ -27,7 +31,7 @@ use cbma::codes::{CodeFamily, TwoNcFamily};
 use cbma::dsp::correlate::dot;
 use cbma::dsp::xcorr::SlidingCorrelator;
 use cbma::prelude::*;
-use cbma::rx::{CorrelationPath, DecoderKind, DetectScratch, UserDetector};
+use cbma::rx::{CorrelationPath, DecoderKind, DetectScratch, MultiDetectScratch, UserDetector};
 use cbma::tag::{PhyProfile, Tag};
 
 /// One timed case: best-of-3 mean ns/op, each repetition covering ~40 ms.
@@ -103,18 +107,42 @@ fn main() {
         );
         cases.push(case);
     }
+    // The coalesced multi-window pass (W paper-default windows sharing
+    // one matrix correlation), normalized to ns per *window* so the
+    // ratio against the single-window batch case is apples-to-apples.
+    const MULTI_W: usize = 4;
+    let windows: Vec<&[Iq]> = (0..MULTI_W).map(|_| window).collect();
+    let origins = vec![350usize; MULTI_W];
+    let mut multi_scratch = MultiDetectScratch::new();
+    let mut multi_out = Vec::new();
+    let mut multi = time_case("user_detect_multiwindow", || {
+        detector.detect_candidates_multi(&windows, &origins, 8, &mut multi_scratch, &mut multi_out);
+        multi_out.len()
+    });
+    multi.mean_ns /= MULTI_W as f64;
+    println!(
+        "{:24} {:>12.0} ns/op  ({} iters, per window, W={MULTI_W})",
+        multi.name, multi.mean_ns, multi.iters
+    );
+
     let speedup = cases[0].mean_ns / cases[1].mean_ns;
     let batch_speedup = cases[1].mean_ns / cases[2].mean_ns;
+    let multiwindow_speedup = cases[2].mean_ns / multi.mean_ns;
     // Real-time factor: air time the window represents (samples at the
     // paper-default rate) over the time the detector needs to scan it.
     let window_ns = window.len() as f64 / phy.sample_rate.get() * 1e9;
     let realtime_factor = window_ns / cases[2].mean_ns;
+    let realtime_factor_multi = window_ns / multi.mean_ns;
+    cases.push(multi);
     println!(
         "fft speedup over direct: {speedup:.2}x  (window {}, ref {ref_len}, {lags} lags, 10 codes)",
         window.len()
     );
     println!(
         "batch speedup over fft:  {batch_speedup:.2}x   real-time factor (batch): {realtime_factor:.2}x"
+    );
+    println!(
+        "multiwindow speedup over batch: {multiwindow_speedup:.2}x   real-time factor (multiwindow): {realtime_factor_multi:.2}x"
     );
 
     // Circular correlation A/B at the lengths around
@@ -157,6 +185,14 @@ fn main() {
     let _ = writeln!(json, "  \"fft_speedup_over_direct\": {speedup:.3},");
     let _ = writeln!(json, "  \"batch_speedup_over_fft\": {batch_speedup:.3},");
     let _ = writeln!(json, "  \"realtime_factor_batch\": {realtime_factor:.3},");
+    let _ = writeln!(
+        json,
+        "  \"multiwindow_speedup_over_batch\": {multiwindow_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"realtime_factor_multiwindow\": {realtime_factor_multi:.3},"
+    );
     json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let comma = if i + 1 == cases.len() { "" } else { "," };

@@ -194,11 +194,25 @@ mod tests {
             echo_decay: 0.0,
             max_echo_delay: 0,
         };
+        // At K = 100 the scatter component is ~3σ away from the band
+        // edges, so a *per-draw* assertion over 1000 draws fails with
+        // probability ≈ 1 − (1 − 1e-3)^1000 ≈ 58%. Assert the
+        // distribution instead: nearly all draws concentrate in the
+        // band and the mean power stays at unity.
         let mut rng = StdRng::seed_from_u64(5);
-        for _ in 0..1000 {
+        let draws = 1000;
+        let mut strayed = 0usize;
+        let mut sum = 0.0f64;
+        for _ in 0..draws {
             let p = model.realize(&mut rng).taps()[0].1.power();
-            assert!((0.6..1.5).contains(&p), "K=100 power {p} strayed");
+            sum += p;
+            if !(0.6..1.5).contains(&p) {
+                strayed += 1;
+            }
         }
+        assert!(strayed <= 10, "K=100: {strayed}/{draws} draws strayed");
+        let mean = sum / draws as f64;
+        assert!((mean - 1.0).abs() < 0.05, "K=100 mean power {mean}");
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub struct FftPlan {
     rev: Vec<u32>,
     /// Stage-major forward twiddles e^{−2πik/len}; inverse conjugates.
     twiddles: Vec<Iq>,
+    /// `W³ᵏ` twiddles of the merged radix-4 stages, stage-major in the
+    /// order of `radix4` (`Wᵏ` and `W²ᵏ` are sliced out of `twiddles`).
+    tw3: Vec<Iq>,
+    /// The merged radix-4 stage ladder as `(len, tw3 offset)`, largest
+    /// stage first: each entry fuses the radix-2 stages `len` and
+    /// `len/2` into one [`simd::fft_stage4`]/[`simd::fft_stage4_dif`]
+    /// pass (`len = 4` entries use the twiddle-free `*_last` kernels).
+    radix4: Vec<(u32, u32)>,
+    /// Whether one radix-2 stage (`len = 2`) remains after pairing —
+    /// true exactly when log₂ n is odd.
+    tail2: bool,
 }
 
 impl FftPlan {
@@ -85,7 +96,33 @@ impl FftPlan {
             }
             len <<= 1;
         }
-        Ok(FftPlan { n, rev, twiddles })
+        // Pair the radix-2 stages two at a time, largest first, into
+        // merged radix-4 passes. Each merged stage of length `len` also
+        // needs the W³ᵏ twiddles (k < len/4), which the radix-2 table
+        // does not contain; `len = 4` merges need no twiddles at all.
+        let mut tw3 = Vec::new();
+        let mut radix4 = Vec::new();
+        let mut len = n;
+        while len >= 4 {
+            radix4.push((len as u32, tw3.len() as u32));
+            if len >= 8 {
+                for k in 0..len / 4 {
+                    tw3.push(Iq::phasor(
+                        -2.0 * std::f64::consts::PI * (3 * k) as f64 / len as f64,
+                    ));
+                }
+            }
+            len >>= 2;
+        }
+        let tail2 = len == 2;
+        Ok(FftPlan {
+            n,
+            rev,
+            twiddles,
+            tw3,
+            radix4,
+            tail2,
+        })
     }
 
     /// The transform length this plan was built for.
@@ -141,22 +178,9 @@ impl FftPlan {
     /// the plan length.
     pub fn forward_raw(&self, buf: &mut [Iq]) -> Result<()> {
         self.check(buf)?;
-        let n = self.n;
-        if n <= 1 {
-            return Ok(());
+        if self.n > 1 {
+            self.dif_ladder(buf, false);
         }
-        // DIF runs the stages largest-first; the twiddle table is shared
-        // with the DIT path (stage-major by half).
-        let mut len = n;
-        while len >= 4 {
-            let half = len / 2;
-            let tw = &self.twiddles[half - 1..2 * half - 1];
-            simd::fft_stage_dif(buf, len, tw, false);
-            len >>= 1;
-        }
-        // The final len = 2 stage has a unit twiddle — identical to the
-        // DIT first stage.
-        simd::fft_stage_first(buf);
         Ok(())
     }
 
@@ -175,19 +199,114 @@ impl FftPlan {
     /// the plan length.
     pub fn inverse_raw(&self, buf: &mut [Iq]) -> Result<()> {
         self.check(buf)?;
-        let n = self.n;
-        if n > 1 {
+        if self.n > 1 {
+            self.dit_ladder(buf, true);
+        }
+        simd::scale_iq(buf, 1.0 / self.n.max(1) as f64);
+        Ok(())
+    }
+
+    /// [`FftPlan::inverse_raw`] **without** the 1/N normalization pass.
+    ///
+    /// The overlap-save correlators fold 1/N into their cached conjugate
+    /// reference spectra at construction, so the per-block inverse needs
+    /// no trailing scale sweep over the buffer — one fewer O(N) memory
+    /// pass per (block, code) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::ShapeMismatch`] when `buf.len()` differs from
+    /// the plan length.
+    pub fn inverse_raw_unscaled(&self, buf: &mut [Iq]) -> Result<()> {
+        self.check(buf)?;
+        if self.n > 1 {
+            self.dit_ladder(buf, true);
+        }
+        Ok(())
+    }
+
+    /// [`FftPlan::inverse_raw_unscaled`] for callers that only read
+    /// `buf[..needed]` afterwards: the final DIT stage skips butterflies
+    /// that contribute nothing to the read range (see
+    /// [`simd::fft_stage4_pruned`]). Every element of `buf[..needed]`
+    /// gets the exact value the unpruned inverse produces; elements past
+    /// the computed range are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmaError::ShapeMismatch`] when `buf.len()` differs from
+    /// the plan length.
+    pub fn inverse_raw_unscaled_pruned(&self, buf: &mut [Iq], needed: usize) -> Result<()> {
+        self.check(buf)?;
+        if self.n <= 1 {
+            return Ok(());
+        }
+        if self.tail2 {
             simd::fft_stage_first(buf);
-            let mut len = 4;
-            while len <= n {
-                let half = len / 2;
-                let tw = &self.twiddles[half - 1..2 * half - 1];
-                simd::fft_stage(buf, len, tw, true);
-                len <<= 1;
+        }
+        let stages = self.radix4.len();
+        for (i, &(len, off)) in self.radix4.iter().rev().enumerate() {
+            let (len, off) = (len as usize, off as usize);
+            if len == 4 {
+                simd::fft_stage4_last(buf, true);
+                continue;
+            }
+            let q = len / 4;
+            let tw1 = &self.twiddles[len / 2 - 1..len / 2 - 1 + q];
+            let tw2 = &self.twiddles[len / 4 - 1..len / 2 - 1];
+            let tw3 = &self.tw3[off..off + q];
+            // Only the last stage is prunable: every earlier stage's full
+            // output feeds the next stage's butterflies.
+            if i + 1 == stages && len == self.n && needed < q {
+                simd::fft_stage4_pruned(buf, len, tw1, tw2, tw3, true, needed);
+            } else {
+                simd::fft_stage4(buf, len, tw1, tw2, tw3, true);
             }
         }
-        simd::scale_iq(buf, 1.0 / n.max(1) as f64);
         Ok(())
+    }
+
+    /// The merged radix-4 DIF cascade, largest stage first, emitting the
+    /// same bit-reversed spectral order as the radix-2 DIF ladder it
+    /// replaces (merging two radix-2 stages permutes nothing).
+    fn dif_ladder(&self, buf: &mut [Iq], inverse: bool) {
+        for &(len, off) in &self.radix4 {
+            let (len, off) = (len as usize, off as usize);
+            if len == 4 {
+                simd::fft_stage4_dif_last(buf, inverse);
+            } else {
+                let q = len / 4;
+                let tw1 = &self.twiddles[len / 2 - 1..len / 2 - 1 + q];
+                let tw2 = &self.twiddles[len / 4 - 1..len / 2 - 1];
+                let tw3 = &self.tw3[off..off + q];
+                simd::fft_stage4_dif(buf, len, tw1, tw2, tw3, inverse);
+            }
+        }
+        if self.tail2 {
+            // Unit twiddle — its own conjugate, so one kernel serves
+            // both directions.
+            simd::fft_stage_first(buf);
+        }
+    }
+
+    /// The merged radix-4 DIT cascade (bit-reversed input, natural
+    /// output): the exact stage-reversal of [`FftPlan::dif_ladder`].
+    fn dit_ladder(&self, buf: &mut [Iq], inverse: bool) {
+        if self.tail2 {
+            simd::fft_stage_first(buf);
+        }
+        for &(len, off) in self.radix4.iter().rev() {
+            let (len, off) = (len as usize, off as usize);
+            if len == 4 {
+                simd::fft_stage4_last(buf, inverse);
+            } else {
+                let q = len / 4;
+                let tw1 = &self.twiddles[len / 2 - 1..len / 2 - 1 + q];
+                let tw2 = &self.twiddles[len / 4 - 1..len / 2 - 1];
+                let tw3 = &self.tw3[off..off + q];
+                simd::fft_stage4(buf, len, tw1, tw2, tw3, inverse);
+            }
+        }
     }
 
     fn check(&self, buf: &[Iq]) -> Result<()> {
@@ -211,16 +330,7 @@ impl FftPlan {
                 buf.swap(i, j);
             }
         }
-        // The len = 2 stage has a unit twiddle (its own conjugate), so one
-        // kernel serves both directions.
-        simd::fft_stage_first(buf);
-        let mut len = 4;
-        while len <= n {
-            let half = len / 2;
-            let tw = &self.twiddles[half - 1..2 * half - 1];
-            simd::fft_stage(buf, len, tw, inverse);
-            len <<= 1;
-        }
+        self.dit_ladder(buf, inverse);
     }
 }
 
@@ -377,8 +487,10 @@ impl RunningEnergy {
 /// spectrum at that size.
 #[derive(Debug, Clone)]
 struct BlockSpec {
-    /// conj(FFT(reference zero-padded to `fft_size`)), in the
-    /// bit-reversed order of [`FftPlan::forward_raw`].
+    /// conj(FFT(reference zero-padded to `fft_size`)) / `fft_size`, in
+    /// the bit-reversed order of [`FftPlan::forward_raw`]. The 1/N
+    /// inverse-FFT normalization is folded in here once so every
+    /// per-block inverse can run unscaled.
     ref_conj_spec: Vec<Iq>,
     plan: FftPlan,
     fft_size: usize,
@@ -399,6 +511,7 @@ impl BlockSpec {
         for x in spec.iter_mut() {
             *x = x.conj();
         }
+        simd::scale_iq(&mut spec, 1.0 / fft_size as f64);
         BlockSpec {
             ref_conj_spec: spec,
             plan,
@@ -524,7 +637,7 @@ impl SlidingCorrelator {
             // raw DIF/DIT pair makes permutation-free end to end.
             block.plan.forward_raw(work).expect("sized to plan");
             simd::spectrum_mul(work, &block.ref_conj_spec);
-            block.plan.inverse_raw(work).expect("sized to plan");
+            block.plan.inverse_raw_unscaled(work).expect("sized to plan");
             let valid = (lags - pos).min(block.block_out);
             out.extend_from_slice(&work[..valid]);
             pos += block.block_out;
@@ -545,8 +658,9 @@ impl SlidingCorrelator {
 /// inner loop walks contiguous memory.
 #[derive(Debug, Clone)]
 struct BatchBlock {
-    /// Flat K × `fft_size` conjugate spectra, in the bit-reversed order
-    /// of [`FftPlan::forward_raw`].
+    /// Flat K × `fft_size` conjugate spectra (1/N-prescaled, exactly as
+    /// [`BlockSpec`]), in the bit-reversed order of
+    /// [`FftPlan::forward_raw`].
     spectra: Vec<Iq>,
     plan: FftPlan,
     fft_size: usize,
@@ -573,6 +687,7 @@ impl BatchBlock {
             for x in spec.iter_mut() {
                 *x = x.conj();
             }
+            simd::scale_iq(spec, 1.0 / fft_size as f64);
         }
         BatchBlock {
             spectra,
@@ -791,12 +906,295 @@ impl BatchCorrelator {
             for k in 0..self.codes {
                 let spec = &block.spectra[k * block.fft_size..(k + 1) * block.fft_size];
                 simd::spectrum_mul_to(&mut scratch.work, &scratch.win, spec);
-                block.plan.inverse_raw(&mut scratch.work).expect("sized to plan");
+                block
+                    .plan
+                    .inverse_raw_unscaled(&mut scratch.work)
+                    .expect("sized to plan");
                 let row = k * lags + pos;
                 scratch.out[row..row + valid].copy_from_slice(&scratch.work[..valid]);
             }
             pos += block.block_out;
             block_index += 1;
+        }
+    }
+}
+
+/// Reusable arena for [`MultiWindowCorrelator::correlate_iq_multi`].
+///
+/// Holds the W forward window spectra, the inverse-FFT work buffer and
+/// the flat window-major × code-major correlation rows. Everything grows
+/// to a high-water mark on the first batch of a given shape and is
+/// reused allocation-free afterwards — the counting-allocator proof in
+/// `crates/rx/tests/alloc_free.rs` pins the steady state at zero heap
+/// traffic across W.
+#[derive(Debug, Clone, Default)]
+pub struct WindowScratch {
+    /// Flat W × `fft_size` forward spectra, one block per window, in the
+    /// bit-reversed order of [`FftPlan::forward_raw`].
+    spectra: Vec<Iq>,
+    /// Per-(window, code) spectrum-product / inverse-FFT buffer.
+    work: Vec<Iq>,
+    /// Flat correlation rows: all K rows of window 0, then window 1, …
+    /// Row (w, k) lives at `offsets[w] + k·lags[w]`.
+    out: Vec<Iq>,
+    /// Base index of each window's row block in `out`.
+    offsets: Vec<usize>,
+    /// Valid lags per window (0 when shorter than the reference).
+    lags: Vec<usize>,
+    codes: usize,
+    /// Per-window fallback scratch for windows the shared single-block
+    /// fast path cannot serve (multi-block or mixed block sizes).
+    single: BatchScratch,
+}
+
+impl WindowScratch {
+    /// An empty arena; buffers are sized lazily by the first
+    /// [`MultiWindowCorrelator::correlate_iq_multi`] call.
+    pub fn new() -> WindowScratch {
+        WindowScratch::default()
+    }
+
+    /// Number of windows in the last batch.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.lags.len()
+    }
+
+    /// Number of code rows per window in the last batch.
+    #[inline]
+    pub fn num_codes(&self) -> usize {
+        self.codes
+    }
+
+    /// Valid lags of window `w` in the last batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[inline]
+    pub fn lags(&self, w: usize) -> usize {
+        self.lags[w]
+    }
+
+    /// Correlation row of code `k` against window `w`:
+    /// `c[lag] = Σ_i s_w[lag+i]·r_k[i]` — bit-identical to
+    /// [`BatchScratch::code`] after a per-window
+    /// [`BatchCorrelator::correlate_iq_into`] pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `k` is out of range for the last batch.
+    #[inline]
+    pub fn row(&self, w: usize, k: usize) -> &[Iq] {
+        assert!(k < self.codes, "code index out of range");
+        let lags = self.lags[w];
+        let base = self.offsets[w] + k * lags;
+        &self.out[base..base + lags]
+    }
+
+    /// Total heap capacity held by the arena, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.spectra.capacity() + self.work.capacity() + self.out.capacity())
+            * std::mem::size_of::<Iq>()
+            + (self.offsets.capacity() + self.lags.capacity()) * std::mem::size_of::<usize>()
+            + self.single.capacity_bytes()
+    }
+
+    /// Stable address of the row storage, for buffer-reuse regression
+    /// tests.
+    #[doc(hidden)]
+    pub fn storage_ptr(&self) -> *const Iq {
+        self.out.as_ptr()
+    }
+}
+
+/// Multi-window batched K-code correlator: W capture windows × K codes
+/// in one matrix pass over the shared reference spectra.
+///
+/// The per-window [`BatchCorrelator`] already shares each window's
+/// forward FFT across the K codes; this engine additionally shares the K
+/// cached conjugate reference spectra (and the FFT plan's twiddle
+/// tables) across W windows per call, and exploits what a *batch* of
+/// windows makes possible:
+///
+/// * each window is forward-transformed exactly once (phase A), then the
+///   code loop runs **code-major** (phase B) so one reference spectrum
+///   is streamed against all W window spectra while hot,
+/// * the inverse transforms run **output-pruned**
+///   ([`FftPlan::inverse_raw_unscaled_pruned`]): only the `lags` outputs
+///   a row keeps are computed, skipping up to a quarter of the butterfly
+///   work at paper-default shapes,
+/// * all scratch lives in a [`WindowScratch`] arena, so steady-state
+///   batches perform zero heap allocation.
+///
+/// Rows are **bit-identical** to running [`BatchCorrelator`] on each
+/// window separately (pinned by `crates/dsp/tests/simd_equivalence.rs`):
+/// the fast path applies when every window of the batch maps to the same
+/// single overlap-save block, and windows that don't (multi-block or
+/// mixed sizes) transparently fall back to the per-window engine.
+#[derive(Debug, Clone)]
+pub struct MultiWindowCorrelator {
+    batch: BatchCorrelator,
+}
+
+impl MultiWindowCorrelator {
+    /// Builds a multi-window correlator over K equal-length real
+    /// references.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BatchCorrelator::new`].
+    pub fn new<R: AsRef<[f64]>>(references: &[R]) -> MultiWindowCorrelator {
+        MultiWindowCorrelator::from_batch(BatchCorrelator::new(references))
+    }
+
+    /// Wraps an existing per-window batch engine, sharing its cached
+    /// reference spectra (no duplication).
+    pub fn from_batch(batch: BatchCorrelator) -> MultiWindowCorrelator {
+        MultiWindowCorrelator { batch }
+    }
+
+    /// The wrapped per-window engine (used for single windows and as the
+    /// fallback path).
+    #[inline]
+    pub fn batch(&self) -> &BatchCorrelator {
+        &self.batch
+    }
+
+    /// Length of the cached references.
+    #[inline]
+    pub fn reference_len(&self) -> usize {
+        self.batch.ref_len
+    }
+
+    /// Number of cached codes K.
+    #[inline]
+    pub fn num_codes(&self) -> usize {
+        self.batch.codes
+    }
+
+    /// Correlates every window of the batch against all K references,
+    /// leaving the W × K × lags rows in `scratch` (query with
+    /// [`WindowScratch::row`]). Steady-state calls are allocation-free
+    /// once the arena has reached its high-water size.
+    pub fn correlate_iq_multi(&self, windows: &[&[Iq]], scratch: &mut WindowScratch) {
+        self.correlate_iq_multi_impl(windows, scratch, None);
+    }
+
+    /// [`MultiWindowCorrelator::correlate_iq_multi`] with span
+    /// instrumentation: the whole coalesced pass records one
+    /// `multi_window_correlate` span under `parent`, its argument packing
+    /// the batch shape as `(W << 32) | K`.
+    pub fn correlate_iq_multi_traced(
+        &self,
+        windows: &[&[Iq]],
+        scratch: &mut WindowScratch,
+        tracer: &Tracer,
+        trace: TraceId,
+        parent: SpanId,
+    ) {
+        self.correlate_iq_multi_impl(windows, scratch, Some((tracer, trace, parent)));
+    }
+
+    fn correlate_iq_multi_impl(
+        &self,
+        windows: &[&[Iq]],
+        scratch: &mut WindowScratch,
+        trace: Option<(&Tracer, TraceId, SpanId)>,
+    ) {
+        let _span = trace.map(|(tracer, trace, parent)| {
+            let mut span = tracer.span(trace, Some(parent), "multi_window_correlate");
+            span.set_arg(((windows.len() as u64) << 32) | self.batch.codes as u64);
+            span
+        });
+        let ref_len = self.batch.ref_len;
+        let codes = self.batch.codes;
+        scratch.codes = codes;
+        scratch.lags.clear();
+        scratch.offsets.clear();
+        let mut total = 0;
+        for w in windows {
+            let lags = (w.len() + 1).saturating_sub(ref_len);
+            scratch.offsets.push(total);
+            scratch.lags.push(lags);
+            total += codes * lags;
+        }
+        // Grow-only resizes: shrinking len is free, re-growing within
+        // capacity only rewrites the new elements.
+        scratch.out.clear();
+        scratch.out.resize(total, Iq::ZERO);
+        // Fast path: every window must run on the same block spec and fit
+        // it in a single overlap-save block, so one forward spectrum per
+        // window serves every code. (Windows shorter than the reference
+        // contribute zero lags and are skipped outright.)
+        let block = windows
+            .iter()
+            .find(|w| w.len() >= ref_len)
+            .map(|w| self.batch.block_for(w.len()));
+        let uniform = block.is_some_and(|b| {
+            windows.iter().all(|w| {
+                w.len() < ref_len
+                    || (w.len() <= b.fft_size && std::ptr::eq(self.batch.block_for(w.len()), b))
+            })
+        });
+        if !uniform {
+            self.fallback_multi(windows, scratch);
+            return;
+        }
+        let block = block.expect("uniform implies a block");
+        let fft = block.fft_size;
+        scratch.spectra.clear();
+        scratch.spectra.resize(windows.len() * fft, Iq::ZERO);
+        scratch.work.clear();
+        scratch.work.resize(fft, Iq::ZERO);
+        // Phase A: one forward transform per window.
+        for (w, window) in windows.iter().enumerate() {
+            if scratch.lags[w] == 0 {
+                continue;
+            }
+            let spec = &mut scratch.spectra[w * fft..(w + 1) * fft];
+            spec[..window.len()].copy_from_slice(window);
+            for x in spec[window.len()..].iter_mut() {
+                *x = Iq::ZERO;
+            }
+            block.plan.forward_raw(spec).expect("sized to plan");
+        }
+        // Phase B, code-major: stream each cached reference spectrum
+        // against every window spectrum while it is hot, with the
+        // inverse transform pruned to the lags the row keeps.
+        for k in 0..codes {
+            let ref_spec = &block.spectra[k * fft..(k + 1) * fft];
+            for (w, _) in windows.iter().enumerate() {
+                let lags = scratch.lags[w];
+                if lags == 0 {
+                    continue;
+                }
+                let spec = &scratch.spectra[w * fft..(w + 1) * fft];
+                simd::spectrum_mul_to(&mut scratch.work, spec, ref_spec);
+                block
+                    .plan
+                    .inverse_raw_unscaled_pruned(&mut scratch.work, lags)
+                    .expect("sized to plan");
+                let base = scratch.offsets[w] + k * lags;
+                scratch.out[base..base + lags].copy_from_slice(&scratch.work[..lags]);
+            }
+        }
+    }
+
+    /// Correctness fallback: per-window batch passes copied into the
+    /// arena's row layout. Used when the batch mixes block specs or needs
+    /// multi-block overlap-save walks.
+    fn fallback_multi(&self, windows: &[&[Iq]], scratch: &mut WindowScratch) {
+        for (w, window) in windows.iter().enumerate() {
+            let lags = scratch.lags[w];
+            if lags == 0 {
+                continue;
+            }
+            self.batch.correlate_iq_into(window, &mut scratch.single);
+            debug_assert_eq!(scratch.single.lags(), lags);
+            let base = scratch.offsets[w];
+            scratch.out[base..base + self.batch.codes * lags]
+                .copy_from_slice(&scratch.single.out[..self.batch.codes * lags]);
         }
     }
 }
@@ -970,6 +1368,86 @@ mod tests {
         assert_eq!(re.mean_abs(0, 32), 0.0);
         let empty = RunningEnergy::new(&[]);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pruned_inverse_matches_unpruned_prefix() {
+        for n in [4usize, 8, 16, 64, 256, 1024] {
+            let plan = FftPlan::new(n).unwrap();
+            let mut spec = test_signal(n);
+            plan.forward_raw(&mut spec).unwrap();
+            for needed in [0usize, 1, 2, 3, n / 4, n / 3, n / 2, n] {
+                let mut full = spec.clone();
+                plan.inverse_raw_unscaled(&mut full).unwrap();
+                let mut pruned = spec.clone();
+                plan.inverse_raw_unscaled_pruned(&mut pruned, needed).unwrap();
+                let take = needed.min(n);
+                assert_eq!(&pruned[..take], &full[..take], "n={n} needed={needed}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_window_rows_match_batch_per_window() {
+        let references: Vec<Vec<f64>> = (0..3).map(|k| test_reference(40 + k)).collect();
+        // Unequal reference lengths are rejected by BatchCorrelator; use
+        // uniform ones here.
+        let references: Vec<Vec<f64>> = references
+            .iter()
+            .map(|r| r[..40].to_vec())
+            .collect();
+        let multi = MultiWindowCorrelator::new(&references);
+        let bufs: Vec<Vec<Iq>> = [90usize, 130, 39, 101]
+            .iter()
+            .map(|&n| test_signal(n))
+            .collect();
+        let windows: Vec<&[Iq]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let mut ws = WindowScratch::new();
+        multi.correlate_iq_multi(&windows, &mut ws);
+        assert_eq!(ws.num_windows(), 4);
+        assert_eq!(ws.num_codes(), 3);
+        let mut bs = BatchScratch::new();
+        for (w, window) in windows.iter().enumerate() {
+            multi.batch().correlate_iq_into(window, &mut bs);
+            assert_eq!(ws.lags(w), bs.lags(), "window {w}");
+            for k in 0..3 {
+                assert_eq!(ws.row(w, k), bs.code(k), "window {w} code {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_window_fallback_covers_multi_block_windows() {
+        // A long window forces the streaming block (multi-block walk)
+        // while a short one uses the compact block — mixed specs land on
+        // the per-window fallback, which must still be bit-identical.
+        let references = vec![test_reference(64); 2];
+        let multi = MultiWindowCorrelator::new(&references);
+        let long = test_signal(2000);
+        let short = test_signal(100);
+        let windows: Vec<&[Iq]> = vec![&long, &short];
+        let mut ws = WindowScratch::new();
+        multi.correlate_iq_multi(&windows, &mut ws);
+        let mut bs = BatchScratch::new();
+        for (w, window) in windows.iter().enumerate() {
+            multi.batch().correlate_iq_into(window, &mut bs);
+            for k in 0..2 {
+                assert_eq!(ws.row(w, k), bs.code(k), "window {w} code {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_window_scratch_reuse_is_pointer_stable() {
+        let references = vec![test_reference(32); 3];
+        let multi = MultiWindowCorrelator::new(&references);
+        let bufs: Vec<Vec<Iq>> = (0..4).map(|_| test_signal(120)).collect();
+        let windows: Vec<&[Iq]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let mut ws = WindowScratch::new();
+        multi.correlate_iq_multi(&windows, &mut ws);
+        let ptr = ws.storage_ptr();
+        multi.correlate_iq_multi(&windows, &mut ws);
+        assert_eq!(ptr, ws.storage_ptr(), "row storage reallocated");
     }
 
     #[test]

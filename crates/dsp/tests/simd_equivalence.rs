@@ -7,7 +7,9 @@
 //! floating-point rounding (1e-9 relative on unit-scale data).
 
 use cbma_dsp::simd;
-use cbma_dsp::xcorr::{BatchCorrelator, BatchScratch, SlidingCorrelator};
+use cbma_dsp::xcorr::{
+    BatchCorrelator, BatchScratch, FftPlan, MultiWindowCorrelator, SlidingCorrelator, WindowScratch,
+};
 use cbma_types::Iq;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -134,6 +136,116 @@ proptest! {
                     b,
                     d
                 );
+            }
+        }
+    }
+}
+
+/// O(n²) DFT oracle: X[k] = Σ x[j]·e^{-2πi·jk/n}.
+fn direct_dft(input: &[Iq]) -> Vec<Iq> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Iq::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let angle = -std::f64::consts::TAU * (j * k % n) as f64 / n as f64;
+                acc += x * Iq::from_polar(1.0, angle);
+            }
+            acc
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The merged radix-4 / split-tail FFT ladder matches the O(n²) DFT
+    /// oracle at every power-of-two size through 512 — both the
+    /// even-stage-count sizes (pure radix-4: 4, 16, 64, 256) and the odd
+    /// ones that need the radix-2 tail stage (2, 8, 32, 128, 512) — and
+    /// the raw bit-reversed-order pipeline round-trips to the input.
+    #[test]
+    fn radix4_fft_matches_direct_dft(seed in 0u64..1 << 48, log2n in 1u32..=9) {
+        let n = 1usize << log2n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = iqs(&mut rng, n);
+        let plan = FftPlan::new(n).unwrap();
+
+        let mut fwd = input.clone();
+        plan.forward(&mut fwd).unwrap();
+        let oracle = direct_dft(&input);
+        for (f, o) in fwd.iter().zip(&oracle) {
+            prop_assert!(
+                (*f - *o).abs() < 1e-9 * n as f64,
+                "n={} fft {:?} vs dft {:?}", n, f, o
+            );
+        }
+
+        // forward → inverse is the identity to rounding.
+        let mut back = fwd.clone();
+        plan.inverse(&mut back).unwrap();
+        for (b, x) in back.iter().zip(&input) {
+            prop_assert!((*b - *x).abs() < 1e-9);
+        }
+
+        // The permutation-free raw pipeline round-trips too (DIF emits
+        // bit-reversed order, DIT consumes it).
+        let mut raw = input.clone();
+        plan.forward_raw(&mut raw).unwrap();
+        plan.inverse_raw(&mut raw).unwrap();
+        for (r, x) in raw.iter().zip(&input) {
+            prop_assert!((*r - *x).abs() < 1e-9);
+        }
+    }
+
+    /// Every row of the multi-window matrix pass is bit-identical to a
+    /// per-window [`BatchCorrelator`] pass over the same capture — for
+    /// uniform-length windows (the shared fast path) and ragged mixes
+    /// that force the per-window fallback, including windows shorter
+    /// than the reference (empty rows).
+    #[test]
+    fn multi_window_rows_match_batch_per_window(
+        seed in 0u64..1 << 48,
+        num_codes in 1usize..=6,
+        ref_len in 2usize..=64,
+        num_windows in 1usize..=5,
+        uniform in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let references: Vec<Vec<f64>> = (0..num_codes)
+            .map(|_| {
+                (0..ref_len)
+                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                    .collect()
+            })
+            .collect();
+        let base_len = ref_len + rng.gen_range(0usize..500);
+        let captures: Vec<Vec<Iq>> = (0..num_windows)
+            .map(|_| {
+                let len = if uniform {
+                    base_len
+                } else {
+                    rng.gen_range(1usize..ref_len + 500)
+                };
+                iqs(&mut rng, len)
+            })
+            .collect();
+        let windows: Vec<&[Iq]> = captures.iter().map(Vec::as_slice).collect();
+
+        let multi = MultiWindowCorrelator::new(&references);
+        let mut scratch = WindowScratch::new();
+        multi.correlate_iq_multi(&windows, &mut scratch);
+        prop_assert_eq!(scratch.num_windows(), num_windows);
+        prop_assert_eq!(scratch.num_codes(), num_codes);
+
+        let mut per_window = BatchScratch::new();
+        for (w, window) in windows.iter().enumerate() {
+            multi.batch().correlate_iq_into(window, &mut per_window);
+            prop_assert_eq!(scratch.lags(w), per_window.lags());
+            for k in 0..num_codes {
+                // Bit-identical: the multi-window pass runs the same
+                // butterflies, only the forward transforms are hoisted.
+                prop_assert_eq!(scratch.row(w, k), per_window.code(k));
             }
         }
     }

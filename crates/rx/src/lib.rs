@@ -29,6 +29,7 @@ pub mod downlink;
 pub mod frame_sync;
 pub mod receiver;
 pub mod sic;
+pub mod stream_pool;
 pub mod user_detect;
 
 pub use ack::AckMessage;
@@ -36,6 +37,8 @@ pub use decoder::{DecodeOutcome, Decoder, DecoderKind};
 pub use downlink::AckWire;
 pub use frame_sync::FrameSync;
 pub use receiver::{Receiver, ReceiverConfig, RxReport, RxScratch, RxTelemetry};
+pub use stream_pool::{StreamPool, StreamPoolConfig, StreamResult};
 pub use user_detect::{
-    CorrelationPath, DetectScratch, DetectedUser, UserDetector, FFT_LAG_CROSSOVER,
+    CorrelationPath, DetectScratch, DetectedUser, MultiDetectScratch, UserDetector,
+    FFT_LAG_CROSSOVER,
 };

@@ -45,7 +45,9 @@ use cbma_types::Iq;
 use crate::ack::AckMessage;
 use crate::decoder::{DecodeOutcome, Decoder, DecoderKind};
 use crate::frame_sync::{FrameSync, SyncScratch};
-use crate::user_detect::{CorrelationPath, DetectScratch, DetectedUser, UserDetector};
+use crate::user_detect::{
+    CorrelationPath, DetectScratch, DetectedUser, MultiDetectScratch, UserDetector,
+};
 
 /// Tunable receiver parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -287,6 +289,11 @@ impl RxMetrics {
 pub struct RxScratch {
     sync: SyncScratch,
     detect: DetectScratch,
+    /// Coalesced multi-window detection arena (see
+    /// [`Receiver::receive_coalesced`]).
+    multi_detect: MultiDetectScratch,
+    /// Per-window candidate lists from the coalesced detection pass.
+    multi_candidates: Vec<Vec<Vec<DetectedUser>>>,
     candidates: Vec<Vec<DetectedUser>>,
     decoded: Vec<Vec<DecodedUser>>,
     /// `(code, candidate index)` pairs, sorted by descending correlation.
@@ -310,6 +317,8 @@ impl RxScratch {
         RxScratch {
             sync: sync.scratch(),
             detect: DetectScratch::new(),
+            multi_detect: MultiDetectScratch::new(),
+            multi_candidates: Vec::new(),
             candidates: Vec::new(),
             decoded: Vec::new(),
             order: Vec::new(),
@@ -329,6 +338,13 @@ impl RxScratch {
     pub fn capacity_bytes(&self) -> usize {
         self.sync.capacity_bytes()
             + self.detect.capacity_bytes()
+            + self.multi_detect.capacity_bytes()
+            + self
+                .multi_candidates
+                .iter()
+                .flatten()
+                .map(|v| v.capacity() * std::mem::size_of::<DetectedUser>())
+                .sum::<usize>()
             + self.candidates.capacity() * std::mem::size_of::<Vec<DetectedUser>>()
             + self
                 .candidates
@@ -379,6 +395,17 @@ pub struct Receiver {
 /// Per-capture trace context threaded through the pipeline stages:
 /// `(tracer, trace id, parent span)`. `None` on the untraced path.
 type TraceCtx<'a> = Option<(&'a Tracer, TraceId, SpanId)>;
+
+/// What frame synchronization found in one capture.
+enum SyncOutcome {
+    /// No energy edge: a quiet capture.
+    NoEdge,
+    /// An edge fired but the derived search window is empty (the capture
+    /// ends at the edge).
+    EmptyWindow,
+    /// The preamble search window `[start, end)` into the capture.
+    Window(usize, usize),
+}
 
 impl Receiver {
     /// Builds a receiver that knows the full code set of the deployment.
@@ -486,27 +513,161 @@ impl Receiver {
             .as_ref()
             .map(|(trace, span)| (tracer.as_ref().expect("span implies tracer"), *trace, span.id()));
         let mut report = self.receive_once(samples, trace);
-        if self.config.sic_passes > 0 {
-            let sic_start = Instant::now();
-            let sic_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "sic"));
-            let sic_trace: TraceCtx = trace
-                .zip(sic_span.as_ref())
-                .map(|((t, tr, _), span)| (t, tr, span.id()));
-            for _ in 0..self.config.sic_passes {
-                report.telemetry.sic_iterations += 1;
-                if !self.sic_pass(samples, &mut report, sic_trace) {
-                    break;
-                }
-            }
-            drop(sic_span);
-            report.telemetry.sic_ns =
-                sic_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        }
+        self.apply_sic(samples, &mut report, trace);
         if let Some(metrics) = &self.metrics {
             metrics.record(&report);
             metrics.scratch_bytes.set(self.scratch.capacity_bytes() as f64);
         }
         report
+    }
+
+    /// Runs the configured SIC passes over one capture's report (no-op
+    /// when SIC is disabled). `trace` is the parent context the `sic`
+    /// span nests under.
+    fn apply_sic(&mut self, samples: &[Iq], report: &mut RxReport, trace: TraceCtx) {
+        if self.config.sic_passes == 0 {
+            return;
+        }
+        let sic_start = Instant::now();
+        let sic_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "sic"));
+        let sic_trace: TraceCtx = trace
+            .zip(sic_span.as_ref())
+            .map(|((t, tr, _), span)| (t, tr, span.id()));
+        for _ in 0..self.config.sic_passes {
+            report.telemetry.sic_iterations += 1;
+            if !self.sic_pass(samples, report, sic_trace) {
+                break;
+            }
+        }
+        drop(sic_span);
+        report.telemetry.sic_ns = sic_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    }
+
+    /// Processes a batch of captured buffers in one coalesced pass:
+    /// frame-sync runs per capture, then every synced search window joins
+    /// a single [`UserDetector::detect_candidates_multi`] matrix pass
+    /// (one forward transform per window, the cached reference spectra
+    /// and twiddle tables shared across all windows), and the decode /
+    /// alias-resolution / SIC phases run per capture exactly as
+    /// [`Receiver::receive`] does. Reports come back index-aligned with
+    /// `captures`.
+    ///
+    /// Detections are the same as W separate [`Receiver::receive`] calls
+    /// (offsets exactly; correlations and gains within FFT rounding —
+    /// see `tests/coalesced_equivalence.rs`), so downstream outcomes
+    /// agree except on razor's-edge threshold ties that move by < 1e-9.
+    ///
+    /// When a tracer is attached the batch records a single
+    /// `coalesced_receive` root (or nests under
+    /// [`Receiver::set_trace_parent`]) with per-capture `frame_sync`
+    /// spans, one shared `user_detect` span (containing the engine's
+    /// `multi_window_correlate` span) and per-capture `decode`/`sic`
+    /// spans as direct children; the shared detection cost is split
+    /// evenly across the coalesced captures' `user_detect_ns` telemetry.
+    pub fn receive_coalesced(&mut self, captures: &[&[Iq]]) -> Vec<RxReport> {
+        let tracer = self.tracer.clone();
+        let batch_span = tracer.as_ref().map(|t| {
+            let (trace, parent) = match self.trace_parent.take() {
+                Some((trace, parent)) => (trace, Some(parent)),
+                None => (t.new_trace(), None),
+            };
+            (trace, t.span(trace, parent, "coalesced_receive"))
+        });
+        let trace: TraceCtx = batch_span
+            .as_ref()
+            .map(|(trace, span)| (tracer.as_ref().expect("span implies tracer"), *trace, span.id()));
+
+        let mut reports: Vec<RxReport> = Vec::with_capacity(captures.len());
+        // (capture index, window start, window end) for captures whose
+        // energy edge yielded a usable search window.
+        let mut synced: Vec<(usize, usize, usize)> = Vec::with_capacity(captures.len());
+        for (i, &samples) in captures.iter().enumerate() {
+            let mut telemetry = RxTelemetry::default();
+            match self.sync_capture(samples, &mut telemetry, trace) {
+                SyncOutcome::NoEdge => reports.push(RxReport {
+                    telemetry,
+                    ..RxReport::default()
+                }),
+                SyncOutcome::EmptyWindow => reports.push(RxReport {
+                    frame_detected: true,
+                    telemetry,
+                    ..RxReport::default()
+                }),
+                SyncOutcome::Window(start, end) => {
+                    synced.push((i, start, end));
+                    reports.push(RxReport {
+                        frame_detected: true,
+                        telemetry,
+                        ..RxReport::default()
+                    });
+                }
+            }
+        }
+        if !synced.is_empty() {
+            let stage_start = Instant::now();
+            let windows: Vec<&[Iq]> = synced.iter().map(|&(i, s, e)| &captures[i][s..e]).collect();
+            let origins: Vec<usize> = synced.iter().map(|&(_, s, _)| s).collect();
+            let RxScratch {
+                multi_detect,
+                multi_candidates,
+                ..
+            } = &mut self.scratch;
+            match trace {
+                Some((tracer, tr, parent)) => {
+                    let span = tracer.span(tr, Some(parent), "user_detect");
+                    self.detector.detect_candidates_multi_traced(
+                        &windows,
+                        &origins,
+                        8,
+                        multi_detect,
+                        multi_candidates,
+                        tracer,
+                        tr,
+                        span.id(),
+                    );
+                }
+                None => self.detector.detect_candidates_multi(
+                    &windows,
+                    &origins,
+                    8,
+                    multi_detect,
+                    multi_candidates,
+                ),
+            }
+            let per_window_ns =
+                (stage_start.elapsed().as_nanos() / synced.len() as u128).min(u64::MAX as u128) as u64;
+            for (w, &(i, window_start, _)) in synced.iter().enumerate() {
+                // Stage window w's candidate lists into the single-capture
+                // arena so the decode phases run unchanged.
+                let RxScratch {
+                    candidates,
+                    multi_candidates,
+                    ..
+                } = &mut self.scratch;
+                let per_code = &multi_candidates[w];
+                candidates.truncate(per_code.len());
+                for v in candidates.iter_mut() {
+                    v.clear();
+                }
+                candidates.resize_with(per_code.len(), Vec::new);
+                for (dst, src) in candidates.iter_mut().zip(per_code) {
+                    dst.extend_from_slice(src);
+                }
+                let mut telemetry = reports[i].telemetry;
+                telemetry.user_detect_ns = per_window_ns;
+                let mut report = self.decode_detected(captures[i], window_start, telemetry, trace);
+                self.apply_sic(captures[i], &mut report, trace);
+                reports[i] = report;
+            }
+        }
+        drop(batch_span);
+        if let Some(metrics) = &self.metrics {
+            for report in &reports {
+                metrics.record(report);
+            }
+            metrics.scratch_bytes.set(self.scratch.capacity_bytes() as f64);
+        }
+        reports
     }
 
     /// Heap capacity currently retained by the receiver's scratch arena.
@@ -589,22 +750,22 @@ impl Receiver {
         changed
     }
 
-    /// Runs the detection/decode pipeline once (no SIC). `trace` is the
-    /// parent context the stage spans nest under — the capture span on
-    /// the first run, the `sic` span on cancellation re-runs, `None` when
-    /// no tracer is attached (one branch per stage).
-    fn receive_once(&mut self, samples: &[Iq], trace: TraceCtx) -> RxReport {
-        let mut telemetry = RxTelemetry::default();
+    /// Frame synchronization for one capture: finds the best energy edge
+    /// and derives the preamble search window, timing the stage into
+    /// `telemetry`.
+    fn sync_capture(
+        &mut self,
+        samples: &[Iq],
+        telemetry: &mut RxTelemetry,
+        trace: TraceCtx,
+    ) -> SyncOutcome {
         let stage_start = Instant::now();
         let sync_span = trace.map(|(t, tr, parent)| t.span(tr, Some(parent), "frame_sync"));
         let edge = self.sync.best_edge_in(samples, &mut self.scratch.sync);
         drop(sync_span);
         telemetry.frame_sync_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let Some(edge) = edge else {
-            return RxReport {
-                telemetry,
-                ..RxReport::default()
-            };
+            return SyncOutcome::NoEdge;
         };
         let spc = self.phy.samples_per_chip();
         let back = (self.config.search_back_chips + self.leading_silence_chips) * spc;
@@ -618,24 +779,38 @@ impl Receiver {
             .unwrap_or(0);
         let window_end = (window_start + back + ahead + max_ref).min(samples.len());
         if window_end <= window_start {
-            return RxReport {
-                frame_detected: true,
-                telemetry,
-                ..RxReport::default()
-            };
+            SyncOutcome::EmptyWindow
+        } else {
+            SyncOutcome::Window(window_start, window_end)
         }
+    }
+
+    /// Runs the detection/decode pipeline once (no SIC). `trace` is the
+    /// parent context the stage spans nest under — the capture span on
+    /// the first run, the `sic` span on cancellation re-runs, `None` when
+    /// no tracer is attached (one branch per stage).
+    fn receive_once(&mut self, samples: &[Iq], trace: TraceCtx) -> RxReport {
+        let mut telemetry = RxTelemetry::default();
+        let (window_start, window_end) = match self.sync_capture(samples, &mut telemetry, trace) {
+            SyncOutcome::NoEdge => {
+                return RxReport {
+                    telemetry,
+                    ..RxReport::default()
+                }
+            }
+            SyncOutcome::EmptyWindow => {
+                return RxReport {
+                    frame_detected: true,
+                    telemetry,
+                    ..RxReport::default()
+                }
+            }
+            SyncOutcome::Window(start, end) => (start, end),
+        };
         let window = &samples[window_start..window_end];
         let stage_start = Instant::now();
         let RxScratch {
-            detect,
-            candidates,
-            decoded,
-            order,
-            accepted,
-            claimed,
-            accepted_starts,
-            probe_offsets,
-            ..
+            detect, candidates, ..
         } = &mut self.scratch;
         match trace {
             Some((tracer, tr, parent)) => {
@@ -662,6 +837,33 @@ impl Receiver {
             ),
         }
         telemetry.user_detect_ns = stage_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.decode_detected(samples, window_start, telemetry, trace)
+    }
+
+    /// The decode half of the pipeline: consumes the candidate lists in
+    /// `self.scratch.candidates` (filled by either the single-window or
+    /// the coalesced multi-window detection pass) and runs candidate
+    /// decoding, global alias resolution and the fine-alignment probe
+    /// fallback. Returns the assembled report with `frame_detected` set.
+    fn decode_detected(
+        &mut self,
+        samples: &[Iq],
+        window_start: usize,
+        mut telemetry: RxTelemetry,
+        trace: TraceCtx,
+    ) -> RxReport {
+        let spc = self.phy.samples_per_chip();
+        let back = (self.config.search_back_chips + self.leading_silence_chips) * spc;
+        let RxScratch {
+            candidates,
+            decoded,
+            order,
+            accepted,
+            claimed,
+            accepted_starts,
+            probe_offsets,
+            ..
+        } = &mut self.scratch;
         telemetry.candidates_evaluated = candidates.iter().map(Vec::len).sum();
         for det in candidates.iter().flatten() {
             if det.correlation > telemetry.peak_correlation {

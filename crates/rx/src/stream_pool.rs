@@ -1,0 +1,428 @@
+//! Multi-stream receive multiplexing.
+//!
+//! A deployment with several excitation sources (or several antenna
+//! captures per round) produces N concurrent capture *streams* that all
+//! share one code set. [`StreamPool`] multiplexes those streams onto a
+//! small set of worker threads, each owning a private [`Receiver`] (and
+//! therefore a private scratch arena — no locking on the hot path).
+//! Workers pull captures from a shared queue in arrival order and
+//! coalesce up to `coalesce_width` of them into one
+//! [`Receiver::receive_coalesced`] call, so the multi-window correlation
+//! engine shares its forward transforms, cached reference spectra and
+//! twiddle tables across captures *from different streams*.
+//!
+//! Results are emitted per stream in submission order regardless of
+//! which worker finished first: a small reorder buffer holds
+//! out-of-order completions until their predecessors arrive.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use cbma_codes::PnCode;
+use cbma_tag::phy::PhyProfile;
+use cbma_types::Iq;
+
+use crate::receiver::{Receiver, ReceiverConfig, RxReport};
+
+/// Tunable pool parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPoolConfig {
+    /// Worker threads (each owns a full [`Receiver`]). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Maximum captures coalesced into one multi-window receive call.
+    /// Clamped to ≥ 1; 1 disables coalescing (per-capture receives).
+    pub coalesce_width: usize,
+}
+
+impl Default for StreamPoolConfig {
+    fn default() -> StreamPoolConfig {
+        StreamPoolConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            coalesce_width: 4,
+        }
+    }
+}
+
+/// One processed capture, tagged with its stream and per-stream sequence
+/// number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamResult {
+    /// The stream the capture was submitted under.
+    pub stream: usize,
+    /// Per-stream submission index (0-based).
+    pub seq: u64,
+    /// The receiver's report for the capture.
+    pub report: RxReport,
+}
+
+/// One queued capture.
+struct Job {
+    stream: usize,
+    seq: u64,
+    capture: Vec<Iq>,
+}
+
+/// Worker-shared queue state.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+/// A pool of receiver workers multiplexing N capture streams (see the
+/// module docs).
+///
+/// # Examples
+///
+/// ```
+/// use cbma_codes::{CodeFamily, GoldFamily};
+/// use cbma_rx::{ReceiverConfig, StreamPool, StreamPoolConfig};
+/// use cbma_tag::phy::PhyProfile;
+/// use cbma_types::Iq;
+///
+/// let codes = GoldFamily::new(5)?.codes(2)?;
+/// let mut pool = StreamPool::new(
+///     codes,
+///     PhyProfile::paper_default(),
+///     ReceiverConfig::default(),
+///     StreamPoolConfig { workers: 2, coalesce_width: 4 },
+/// );
+/// pool.submit(0, vec![Iq::ZERO; 2000]);
+/// pool.submit(1, vec![Iq::ZERO; 2000]);
+/// let results = pool.drain();
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(|r| !r.report.frame_detected));
+/// # Ok::<(), cbma_types::CbmaError>(())
+/// ```
+pub struct StreamPool {
+    shared: Arc<Shared>,
+    results: mpsc::Receiver<StreamResult>,
+    workers: Vec<JoinHandle<()>>,
+    /// Next submission seq per stream (grows on first use).
+    next_seq: Vec<u64>,
+    /// Next seq to emit per stream.
+    emit_next: Vec<u64>,
+    /// Out-of-order completions awaiting their predecessors.
+    reorder: BTreeMap<(usize, u64), RxReport>,
+    submitted: usize,
+    collected: usize,
+}
+
+impl StreamPool {
+    /// Spawns the worker threads; each builds its own [`Receiver`] for
+    /// the shared code set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid receiver parameters (see [`Receiver::new`]).
+    pub fn new(
+        codes: Vec<PnCode>,
+        phy: PhyProfile,
+        config: ReceiverConfig,
+        pool: StreamPoolConfig,
+    ) -> StreamPool {
+        // Validate eagerly on the caller's thread so bad parameters
+        // panic here, not inside a worker.
+        drop(Receiver::new(codes.clone(), phy, config));
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let (tx, results) = mpsc::channel();
+        let width = pool.coalesce_width.max(1);
+        let workers = (0..pool.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                let codes = codes.clone();
+                std::thread::spawn(move || {
+                    let mut receiver = Receiver::new(codes, phy, config);
+                    worker_loop(&shared, &mut receiver, width, &tx);
+                })
+            })
+            .collect();
+        StreamPool {
+            shared,
+            results,
+            workers,
+            next_seq: Vec::new(),
+            emit_next: Vec::new(),
+            reorder: BTreeMap::new(),
+            submitted: 0,
+            collected: 0,
+        }
+    }
+
+    /// Queues one capture on `stream`. Returns the capture's per-stream
+    /// sequence number (its position within the stream's results).
+    pub fn submit(&mut self, stream: usize, capture: Vec<Iq>) -> u64 {
+        if self.next_seq.len() <= stream {
+            self.next_seq.resize(stream + 1, 0);
+            self.emit_next.resize(stream + 1, 0);
+        }
+        let seq = self.next_seq[stream];
+        self.next_seq[stream] += 1;
+        self.submitted += 1;
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.jobs.push_back(Job {
+                stream,
+                seq,
+                capture,
+            });
+        }
+        self.shared.ready.notify_one();
+        seq
+    }
+
+    /// Captures submitted but not yet collected by [`StreamPool::ready`]
+    /// or [`StreamPool::drain`].
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.submitted - self.collected
+    }
+
+    /// Non-blocking: collects every finished capture whose per-stream
+    /// predecessors have all been emitted, in (stream, seq) order.
+    pub fn ready(&mut self) -> Vec<StreamResult> {
+        while let Ok(result) = self.results.try_recv() {
+            self.reorder
+                .insert((result.stream, result.seq), result.report);
+        }
+        self.emit_in_order()
+    }
+
+    /// Blocks until every submitted capture has been processed, then
+    /// returns all uncollected results in (stream, seq) order.
+    pub fn drain(&mut self) -> Vec<StreamResult> {
+        let mut out = self.ready();
+        while self.collected + self.reorder.len() + out.len() < self.submitted {
+            let result = self
+                .results
+                .recv()
+                .expect("workers alive while jobs are pending");
+            self.reorder
+                .insert((result.stream, result.seq), result.report);
+        }
+        out.extend(self.emit_in_order());
+        out
+    }
+
+    /// Moves every in-order entry out of the reorder buffer.
+    fn emit_in_order(&mut self) -> Vec<StreamResult> {
+        let mut out = Vec::new();
+        for stream in 0..self.emit_next.len() {
+            while let Some(report) = self.reorder.remove(&(stream, self.emit_next[stream])) {
+                out.push(StreamResult {
+                    stream,
+                    seq: self.emit_next[stream],
+                    report,
+                });
+                self.emit_next[stream] += 1;
+                self.collected += 1;
+            }
+        }
+        out
+    }
+}
+
+impl Drop for StreamPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamPool")
+            .field("workers", &self.workers.len())
+            .field("submitted", &self.submitted)
+            .field("collected", &self.collected)
+            .finish()
+    }
+}
+
+/// Worker body: pull up to `width` queued captures, receive them in one
+/// coalesced call, send each result back.
+fn worker_loop(
+    shared: &Shared,
+    receiver: &mut Receiver,
+    width: usize,
+    tx: &mpsc::Sender<StreamResult>,
+) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if !q.jobs.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready.wait(q).expect("queue poisoned");
+            }
+            let take = width.min(q.jobs.len());
+            q.jobs.drain(..take).collect()
+        };
+        let captures: Vec<&[Iq]> = batch.iter().map(|j| j.capture.as_slice()).collect();
+        let reports = receiver.receive_coalesced(&captures);
+        for (job, report) in batch.iter().zip(reports) {
+            // A disconnected receiver means the pool was dropped with
+            // jobs in flight; finishing quietly is the right exit.
+            let _ = tx.send(StreamResult {
+                stream: job.stream,
+                seq: job.seq,
+                report,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbma_codes::{CodeFamily, GoldFamily};
+    use cbma_tag::frame::preamble_pattern;
+    use cbma_tag::Tag;
+    use cbma_types::geometry::Point;
+
+    fn capture_for(codes: &[PnCode], phy: &PhyProfile, tag_idx: usize, lead: usize) -> Vec<Iq> {
+        let mut tag = Tag::new(tag_idx as u32, Point::ORIGIN, codes[tag_idx].clone());
+        let env = tag
+            .transmit(format!("stream payload {tag_idx}").into_bytes(), phy)
+            .unwrap();
+        let mut buf = vec![Iq::ZERO; lead];
+        buf.extend(env.iter().map(|&e| Iq::from_polar(0.01 * e, 0.4)));
+        buf.extend(vec![Iq::ZERO; 64]);
+        buf
+    }
+
+    #[test]
+    fn pool_matches_sequential_receiver_outcomes() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+        let captures: Vec<Vec<Iq>> = (0..3)
+            .flat_map(|t| [capture_for(&codes, &phy, t, 300 + 40 * t), vec![Iq::ZERO; 2000]])
+            .collect();
+
+        let mut sequential = Receiver::new(codes.clone(), phy, ReceiverConfig::default());
+        let expected: Vec<RxReport> = captures.iter().map(|c| sequential.receive(c)).collect();
+
+        let mut pool = StreamPool::new(
+            codes,
+            phy,
+            ReceiverConfig::default(),
+            StreamPoolConfig {
+                workers: 2,
+                coalesce_width: 3,
+            },
+        );
+        // Two streams, interleaved submissions.
+        for (i, capture) in captures.iter().enumerate() {
+            pool.submit(i % 2, capture.clone());
+        }
+        let results = pool.drain();
+        assert_eq!(results.len(), captures.len());
+        // Per-stream in-order emission.
+        for stream in 0..2 {
+            let seqs: Vec<u64> = results
+                .iter()
+                .filter(|r| r.stream == stream)
+                .map(|r| r.seq)
+                .collect();
+            assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
+        }
+        // Deterministic outcomes match the sequential receiver (exact
+        // correlation floats can differ by FFT rounding between the
+        // coalesced and single-window paths, so compare the decisions).
+        for result in &results {
+            let i = result.stream + 2 * result.seq as usize;
+            let want = &expected[i];
+            assert_eq!(result.report.frame_detected, want.frame_detected, "capture {i}");
+            assert_eq!(result.report.ack, want.ack, "capture {i}");
+            assert_eq!(
+                result.report.detected_ids(),
+                want.detected_ids(),
+                "capture {i}"
+            );
+            for (got, want) in result.report.users.iter().zip(&want.users) {
+                assert_eq!(got.detection.start, want.detection.start);
+                assert_eq!(got.outcome.is_frame(), want.outcome.is_frame());
+                assert!((got.detection.correlation - want.detection.correlation).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ready_is_nonblocking_and_ordered() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+        let mut pool = StreamPool::new(
+            codes,
+            phy,
+            ReceiverConfig::default(),
+            StreamPoolConfig {
+                workers: 1,
+                coalesce_width: 2,
+            },
+        );
+        assert_eq!(pool.pending(), 0);
+        assert!(pool.ready().is_empty());
+        for _ in 0..4 {
+            pool.submit(7, vec![Iq::ZERO; 1500]);
+        }
+        assert_eq!(pool.pending(), 4);
+        let results = pool.drain();
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(
+            results.iter().map(|r| (r.stream, r.seq)).collect::<Vec<_>>(),
+            vec![(7, 0), (7, 1), (7, 2), (7, 3)]
+        );
+    }
+
+    #[test]
+    fn preamble_is_stable_reference() {
+        // Guard: the preamble pattern the detector correlates is what the
+        // tag transmits (a stream-pool capture exercises both sides).
+        let phy = PhyProfile::paper_default();
+        assert!(!preamble_pattern(phy.preamble_bits).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_pool_with_queued_work_does_not_hang() {
+        let phy = PhyProfile::paper_default();
+        let codes = GoldFamily::new(5).unwrap().codes(1).unwrap();
+        let mut pool = StreamPool::new(
+            codes,
+            phy,
+            ReceiverConfig::default(),
+            StreamPoolConfig {
+                workers: 1,
+                coalesce_width: 1,
+            },
+        );
+        for _ in 0..3 {
+            pool.submit(0, vec![Iq::ZERO; 1200]);
+        }
+        drop(pool); // must join, not deadlock
+    }
+}

@@ -33,7 +33,9 @@ use cbma_dsp::correlate::{correlate_iq_bipolar, dot};
 use cbma_obs::trace::{SpanId, TraceId, Tracer};
 use cbma_dsp::resample::upsample_repeat;
 use cbma_dsp::simd;
-use cbma_dsp::xcorr::{BatchCorrelator, BatchScratch, RunningEnergy, SlidingCorrelator};
+use cbma_dsp::xcorr::{
+    BatchScratch, MultiWindowCorrelator, RunningEnergy, SlidingCorrelator, WindowScratch,
+};
 use cbma_tag::frame::preamble_pattern;
 use cbma_tag::phy::PhyProfile;
 use cbma_types::Iq;
@@ -122,6 +124,56 @@ impl DetectScratch {
     }
 }
 
+/// Reusable buffers for [`UserDetector::detect_candidates_multi`].
+///
+/// The W × K × lags correlation rows live in the [`WindowScratch`] arena;
+/// the per-window prefix sums are a grow-only pool so a steady stream of
+/// same-width batches rebuilds in place. Like [`DetectScratch`], every
+/// buffer grows to a high-water mark on first use and steady-state calls
+/// perform zero heap allocation.
+#[derive(Debug, Default)]
+pub struct MultiDetectScratch {
+    /// W-window × K-code correlation matrix arena.
+    windows: WindowScratch,
+    /// Per-window prefix-sum pool (entry `w` serves window `w`).
+    runnings: Vec<RunningEnergy>,
+    /// Hoisted per-lag inverse denominators 1/√(Σ|s|²) for the current
+    /// window, shared across its K codes (one sqrt per lag instead of K).
+    inv_seg: Vec<f64>,
+    /// Per-lag normalized decision statistic.
+    profile: Vec<f64>,
+    /// Above-threshold local maxima, then the NMS-selected subset.
+    peaks: Vec<(usize, f64)>,
+    selected: Vec<(usize, f64)>,
+    /// Per-window fallback scratch (envelope mode, mixed code families).
+    single: DetectScratch,
+}
+
+impl MultiDetectScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> MultiDetectScratch {
+        MultiDetectScratch::default()
+    }
+
+    /// Total heap capacity held by the scratch, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        let pair = std::mem::size_of::<(usize, f64)>();
+        self.windows.capacity_bytes()
+            + self.runnings.iter().map(|r| r.capacity_bytes()).sum::<usize>()
+            + self.runnings.capacity() * std::mem::size_of::<RunningEnergy>()
+            + (self.inv_seg.capacity() + self.profile.capacity()) * std::mem::size_of::<f64>()
+            + (self.peaks.capacity() + self.selected.capacity()) * pair
+            + self.single.capacity_bytes()
+    }
+
+    /// Stable address of the correlation arena, for buffer-reuse
+    /// regression tests.
+    #[doc(hidden)]
+    pub fn storage_ptr(&self) -> *const Iq {
+        self.windows.storage_ptr()
+    }
+}
+
 /// Correlation of the mean-removed envelope of `seg` against `reference`,
 /// plus the mean-removed envelope's energy (for normalization).
 ///
@@ -167,12 +219,16 @@ pub struct UserDetector {
     /// Overlap-save FFT correlator per code, with the reference's
     /// conjugate spectrum cached at construction.
     correlators: Vec<SlidingCorrelator>,
-    /// Shared-FFT K-code engine: one forward FFT per block multiplied
-    /// against every cached reference spectrum. `None` when the spread
-    /// preambles do not share one length (mixed code families).
-    batch: Option<BatchCorrelator>,
+    /// Shared-FFT K-code engine (wrapped by the W-window coalescing
+    /// front-end): one forward FFT per block multiplied against every
+    /// cached reference spectrum. `None` when the spread preambles do
+    /// not share one length (mixed code families).
+    multi: Option<MultiWindowCorrelator>,
     /// Σr² per code, precomputed for the normalization denominator.
     ref_energy: Vec<f64>,
+    /// 1/√(Σr²) per code, precomputed so the multi-window path's hoisted
+    /// normalization needs one multiply per (code, lag).
+    ref_inv_sqrt: Vec<f64>,
     /// Σr per code, precomputed for the envelope mean correction.
     ref_sum: Vec<f64>,
     /// Per-code balance-corrected correlation scale (see
@@ -216,7 +272,7 @@ impl UserDetector {
         let preamble = preamble_pattern(phy.preamble_bits);
         let mut references = Vec::with_capacity(codes.len());
         let mut correlators = Vec::with_capacity(codes.len());
-        let mut ref_energy = Vec::with_capacity(codes.len());
+        let mut ref_energy: Vec<f64> = Vec::with_capacity(codes.len());
         let mut ref_sum = Vec::with_capacity(codes.len());
         let mut gain_scale = Vec::with_capacity(codes.len());
         for code in codes {
@@ -241,12 +297,24 @@ impl UserDetector {
             references.push(reference);
         }
         let uniform = references.iter().all(|r| r.len() == references[0].len());
-        let batch = uniform.then(|| BatchCorrelator::new(&references));
+        let multi = uniform.then(|| MultiWindowCorrelator::new(&references));
+        let ref_inv_sqrt = ref_energy
+            .iter()
+            .map(|&e| {
+                let s = e.sqrt();
+                if s > 0.0 {
+                    1.0 / s
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         UserDetector {
             references,
             correlators,
-            batch,
+            multi,
             ref_energy,
+            ref_inv_sqrt,
             ref_sum,
             gain_scale,
             threshold,
@@ -396,17 +464,17 @@ impl UserDetector {
             mags_iq.extend(mags.iter().map(|&v| Iq::new(v, 0.0)));
         }
         // The batch engine runs once for every code; decide up front.
-        let use_batch = match (path, &self.batch) {
+        let use_batch = match (path, &self.multi) {
             (CorrelationPath::Direct | CorrelationPath::Fft, _) => false,
             (_, None) => false,
-            (CorrelationPath::Batch, Some(b)) => window.len() >= b.reference_len(),
-            (CorrelationPath::Auto, Some(b)) => {
-                window.len() >= b.reference_len()
-                    && window.len() - b.reference_len() + 1 >= FFT_LAG_CROSSOVER
+            (CorrelationPath::Batch, Some(m)) => window.len() >= m.reference_len(),
+            (CorrelationPath::Auto, Some(m)) => {
+                window.len() >= m.reference_len()
+                    && window.len() - m.reference_len() + 1 >= FFT_LAG_CROSSOVER
             }
         };
         if use_batch {
-            let engine = self.batch.as_ref().expect("checked above");
+            let engine = self.multi.as_ref().expect("checked above").batch();
             let input: &[Iq] = if envelope_mode { mags_iq } else { window };
             match trace {
                 Some((tracer, trace, parent)) => {
@@ -487,32 +555,7 @@ impl UserDetector {
                 let denom = (seg_energy * ref_energy).sqrt();
                 *c = if denom > 0.0 { *c / denom } else { 0.0 };
             }
-            // Local maxima above threshold, non-maximum-suppressed over a
-            // ±one-chip neighbourhood (candidates one chip apart are
-            // genuinely different alignments the decoder must test),
-            // strongest first.
-            let nms_radius = self.samples_per_chip.max(2);
-            peaks.clear();
-            peaks.extend(
-                (0..profile.len())
-                    .filter(|&i| {
-                        let v = profile[i];
-                        v >= self.threshold
-                            && (i == 0 || profile[i - 1] <= v)
-                            && (i + 1 == profile.len() || profile[i + 1] < v)
-                    })
-                    .map(|i| (i, profile[i])),
-            );
-            peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-            selected.clear();
-            for &(off, val) in peaks.iter() {
-                if selected.iter().all(|&(o, _)| off.abs_diff(o) >= nms_radius) {
-                    selected.push((off, val));
-                    if selected.len() >= max_candidates {
-                        break;
-                    }
-                }
-            }
+            self.select_peaks(profile, max_candidates, peaks, selected);
             out[idx].extend(selected.iter().map(|&(off, val)| {
                 let seg = &window[off..off + reference.len()];
                 let gain = self.gain_estimate(seg, reference, idx);
@@ -523,6 +566,178 @@ impl UserDetector {
                     channel_gain: gain,
                 }
             }));
+        }
+    }
+
+    /// Scans W capture windows in one coalesced pass. `out[w][k]` holds
+    /// up to `max_candidates` candidates for code `k` in window `w` —
+    /// the same detections (offsets and gains exactly, correlations
+    /// within FFT rounding) as W separate
+    /// [`UserDetector::detect_candidates_in`] calls, but the correlation
+    /// work runs as a single [`MultiWindowCorrelator`] matrix pass:
+    /// every window is forward-transformed once and the K cached
+    /// reference spectra (and the plan's twiddle tables, hot in cache)
+    /// are reused across all W windows.
+    ///
+    /// On top of the shared transforms the coalesced path exploits what
+    /// the matrix layout makes cheap:
+    ///
+    /// * the per-lag normalization denominator `√(seg·ref)` is hoisted —
+    ///   one inverse sqrt per lag shared by all K codes, then a single
+    ///   multiply per (code, lag), instead of K sqrt+div per lag;
+    /// * the channel-gain estimate is read from the complex correlation
+    ///   row at the detected offset (the row *is* `Σ s·r`), replacing
+    ///   the `O(ref_len)` re-correlation dot product per candidate.
+    ///
+    /// Envelope-statistic detectors and mixed-length code sets fall back
+    /// to per-window [`CorrelationPath::Auto`] scans (same results, no
+    /// coalescing); the coherent decision statistic is the paper
+    /// default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` and `origins` differ in length.
+    pub fn detect_candidates_multi(
+        &self,
+        windows: &[&[Iq]],
+        origins: &[usize],
+        max_candidates: usize,
+        scratch: &mut MultiDetectScratch,
+        out: &mut Vec<Vec<Vec<DetectedUser>>>,
+    ) {
+        self.detect_candidates_multi_impl(windows, origins, max_candidates, scratch, out, None);
+    }
+
+    /// [`UserDetector::detect_candidates_multi`] with span
+    /// instrumentation: the coalesced correlation pass records one
+    /// `multi_window_correlate` span (arg = `(W << 32) | K`) under
+    /// `parent`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn detect_candidates_multi_traced(
+        &self,
+        windows: &[&[Iq]],
+        origins: &[usize],
+        max_candidates: usize,
+        scratch: &mut MultiDetectScratch,
+        out: &mut Vec<Vec<Vec<DetectedUser>>>,
+        tracer: &Tracer,
+        trace: TraceId,
+        parent: SpanId,
+    ) {
+        self.detect_candidates_multi_impl(
+            windows,
+            origins,
+            max_candidates,
+            scratch,
+            out,
+            Some((tracer, trace, parent)),
+        );
+    }
+
+    fn detect_candidates_multi_impl(
+        &self,
+        windows: &[&[Iq]],
+        origins: &[usize],
+        max_candidates: usize,
+        scratch: &mut MultiDetectScratch,
+        out: &mut Vec<Vec<Vec<DetectedUser>>>,
+        trace: Option<(&Tracer, TraceId, SpanId)>,
+    ) {
+        assert_eq!(
+            windows.len(),
+            origins.len(),
+            "one origin per capture window"
+        );
+        out.truncate(windows.len());
+        out.resize_with(windows.len(), Vec::new);
+        for per_window in out.iter_mut() {
+            per_window.truncate(self.references.len());
+            for v in per_window.iter_mut() {
+                v.clear();
+            }
+            per_window.resize_with(self.references.len(), Vec::new);
+        }
+        let coalesce = matches!(self.kind, DecoderKind::Coherent) && self.multi.is_some();
+        if !coalesce {
+            // Envelope statistics need per-window |s| series and mixed
+            // code families have no shared-spectrum engine; both take
+            // the single-window Auto path per window (identical
+            // results, no transform sharing).
+            for (w, (&window, &origin)) in windows.iter().zip(origins).enumerate() {
+                self.detect_candidates_impl(
+                    window,
+                    origin,
+                    max_candidates,
+                    CorrelationPath::Auto,
+                    &mut scratch.single,
+                    &mut out[w],
+                    trace,
+                );
+            }
+            return;
+        }
+        let multi = self.multi.as_ref().expect("checked above");
+        match trace {
+            Some((tracer, trace_id, parent)) => {
+                multi.correlate_iq_multi_traced(
+                    windows,
+                    &mut scratch.windows,
+                    tracer,
+                    trace_id,
+                    parent,
+                );
+            }
+            None => multi.correlate_iq_multi(windows, &mut scratch.windows),
+        }
+        let ref_len = multi.reference_len();
+        if scratch.runnings.len() < windows.len() {
+            scratch
+                .runnings
+                .resize_with(windows.len(), RunningEnergy::default);
+        }
+        for (w, (&window, &origin)) in windows.iter().zip(origins).enumerate() {
+            if window.len() < ref_len {
+                continue;
+            }
+            let lags = window.len() - ref_len + 1;
+            scratch.runnings[w].rebuild(window);
+            let running = &scratch.runnings[w];
+            // Hoisted normalization: one inverse sqrt per lag, shared by
+            // every code row of this window.
+            scratch.inv_seg.clear();
+            scratch.inv_seg.extend((0..lags).map(|off| {
+                let d = running.power(off, ref_len).sqrt();
+                if d > 0.0 {
+                    1.0 / d
+                } else {
+                    0.0
+                }
+            }));
+            for (idx, per_code) in out[w].iter_mut().enumerate() {
+                let row = scratch.windows.row(w, idx);
+                scratch.profile.clear();
+                scratch.profile.resize(lags, 0.0);
+                simd::magnitudes_into(row, &mut scratch.profile);
+                let ref_scale = self.ref_inv_sqrt[idx];
+                for (c, &inv) in scratch.profile.iter_mut().zip(scratch.inv_seg.iter()) {
+                    *c *= inv * ref_scale;
+                }
+                self.select_peaks(
+                    &scratch.profile,
+                    max_candidates,
+                    &mut scratch.peaks,
+                    &mut scratch.selected,
+                );
+                let gain_scale = self.gain_scale[idx];
+                per_code.extend(scratch.selected.iter().map(|&(off, val)| DetectedUser {
+                    code_index: idx,
+                    start: origin + off,
+                    correlation: val,
+                    // The complex row value at the peak *is* Σ s·r — the
+                    // gain estimate without re-correlating the segment.
+                    channel_gain: row[off] / gain_scale,
+                }));
+            }
         }
     }
 
@@ -566,6 +781,43 @@ impl UserDetector {
     /// decoder; informational in envelope mode).
     fn gain_estimate(&self, seg: &[Iq], reference: &[f64], code_index: usize) -> Iq {
         correlate_iq_bipolar(seg, reference) / self.gain_scale[code_index]
+    }
+
+    /// Local maxima of `profile` above the threshold, non-maximum-
+    /// suppressed over a ±one-chip neighbourhood (candidates one chip
+    /// apart are genuinely different alignments the decoder must test),
+    /// strongest first, at most `max_candidates`. Results land in
+    /// `selected`; `peaks` is working storage. Shared by the single- and
+    /// multi-window paths so their candidate sets match by construction.
+    fn select_peaks(
+        &self,
+        profile: &[f64],
+        max_candidates: usize,
+        peaks: &mut Vec<(usize, f64)>,
+        selected: &mut Vec<(usize, f64)>,
+    ) {
+        let nms_radius = self.samples_per_chip.max(2);
+        peaks.clear();
+        peaks.extend(
+            (0..profile.len())
+                .filter(|&i| {
+                    let v = profile[i];
+                    v >= self.threshold
+                        && (i == 0 || profile[i - 1] <= v)
+                        && (i + 1 == profile.len() || profile[i + 1] < v)
+                })
+                .map(|i| (i, profile[i])),
+        );
+        peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        selected.clear();
+        for &(off, val) in peaks.iter() {
+            if selected.iter().all(|&(o, _)| off.abs_diff(o) >= nms_radius) {
+                selected.push((off, val));
+                if selected.len() >= max_candidates {
+                    break;
+                }
+            }
+        }
     }
 
     /// Convenience wrapper returning only each code's strongest candidate.

@@ -1,0 +1,143 @@
+//! Equivalence of the coalesced batch receive path and sequential
+//! `Receiver::receive` calls.
+//!
+//! `Receiver::receive_coalesced` must be a pure optimization: the
+//! multi-window matrix pass shares forward transforms across captures
+//! but runs the same butterflies, so every *decision* — frame
+//! detection, detected ids, start offsets, decoded frames, the ACK —
+//! must match the sequential path exactly, with correlations and gains
+//! within FFT rounding (the coalesced path hoists the normalization
+//! denominator and reads gains from the correlation row, reordering
+//! float ops by ~1e-12).
+
+use cbma_codes::{CodeFamily, GoldFamily, PnCode};
+use cbma_rx::{Receiver, ReceiverConfig, RxReport};
+use cbma_tag::phy::PhyProfile;
+use cbma_tag::Tag;
+use cbma_types::geometry::Point;
+use cbma_types::Iq;
+
+/// A lead of silence, one tag's frame at a phase rotation, trailing pad.
+fn capture_for(codes: &[PnCode], phy: &PhyProfile, tag_idx: usize, lead: usize) -> Vec<Iq> {
+    let mut tag = Tag::new(tag_idx as u32, Point::ORIGIN, codes[tag_idx].clone());
+    let env = tag
+        .transmit(format!("coalesced payload {tag_idx}").into_bytes(), phy)
+        .unwrap();
+    let mut buf = vec![Iq::ZERO; lead];
+    buf.extend(env.iter().map(|&e| Iq::from_polar(0.01 * e, 0.3 + 0.2 * tag_idx as f64)));
+    buf.extend(vec![Iq::ZERO; 64]);
+    buf
+}
+
+/// Two tags superposed in one capture (a collision round).
+fn collision_capture(codes: &[PnCode], phy: &PhyProfile) -> Vec<Iq> {
+    let a = capture_for(codes, phy, 0, 400);
+    let b = capture_for(codes, phy, 1, 400);
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| {
+            a.get(i).copied().unwrap_or(Iq::ZERO) + b.get(i).copied().unwrap_or(Iq::ZERO)
+        })
+        .collect()
+}
+
+fn assert_decisions_match(got: &RxReport, want: &RxReport, label: &str) {
+    assert_eq!(got.frame_detected, want.frame_detected, "{label}: frame_detected");
+    assert_eq!(got.ack, want.ack, "{label}: ack");
+    assert_eq!(got.detected_ids(), want.detected_ids(), "{label}: detected ids");
+    assert_eq!(got.users.len(), want.users.len(), "{label}: user count");
+    for (g, w) in got.users.iter().zip(&want.users) {
+        assert_eq!(g.detection.start, w.detection.start, "{label}: start");
+        assert_eq!(g.outcome.is_frame(), w.outcome.is_frame(), "{label}: outcome kind");
+        assert!(
+            (g.detection.correlation - w.detection.correlation).abs() < 1e-9,
+            "{label}: correlation {} vs {}",
+            g.detection.correlation,
+            w.detection.correlation
+        );
+        assert!(
+            (g.detection.channel_gain - w.detection.channel_gain).abs() < 1e-9,
+            "{label}: gain {:?} vs {:?}",
+            g.detection.channel_gain,
+            w.detection.channel_gain
+        );
+    }
+    // Decoded payloads byte-for-byte.
+    let frames = |r: &RxReport| {
+        r.frames()
+            .into_iter()
+            .map(|(id, f)| (id, f.payload().to_vec()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(frames(got), frames(want), "{label}: decoded frames");
+}
+
+#[test]
+fn coalesced_batches_match_sequential_receives() {
+    let phy = PhyProfile::paper_default();
+    let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+
+    // A mixed batch: single-tag frames at different leads, a two-tag
+    // collision, pure silence, sub-threshold ripple, and a capture too
+    // short to hold a reference window.
+    let mut captures: Vec<Vec<Iq>> = vec![
+        capture_for(&codes, &phy, 0, 300),
+        collision_capture(&codes, &phy),
+        vec![Iq::ZERO; 2000],
+        capture_for(&codes, &phy, 2, 420),
+        (0..2400)
+            .map(|i| Iq::new(1e-6 * (1.0 + 0.05 * (i as f64 * 0.37).sin()), 0.0))
+            .collect(),
+        vec![Iq::ZERO; 40],
+        capture_for(&codes, &phy, 1, 356),
+    ];
+    // And again in a different order to exercise arena reuse across
+    // differently-shaped batches.
+    let second_batch: Vec<Vec<Iq>> = captures.iter().rev().cloned().collect();
+    captures.extend(second_batch);
+
+    let mut sequential = Receiver::new(codes.clone(), phy, ReceiverConfig::default());
+    let expected: Vec<RxReport> = captures.iter().map(|c| sequential.receive(c)).collect();
+
+    let mut coalesced = Receiver::new(codes, phy, ReceiverConfig::default());
+    let (first, second) = captures.split_at(7);
+    let mut got: Vec<RxReport> = Vec::new();
+    got.extend(coalesced.receive_coalesced(&first.iter().map(Vec::as_slice).collect::<Vec<_>>()));
+    got.extend(coalesced.receive_coalesced(&second.iter().map(Vec::as_slice).collect::<Vec<_>>()));
+
+    assert_eq!(got.len(), expected.len());
+    for (i, (g, w)) in got.iter().zip(&expected).enumerate() {
+        assert_decisions_match(g, w, &format!("capture {i}"));
+    }
+}
+
+#[test]
+fn empty_and_degenerate_batches_are_safe() {
+    let phy = PhyProfile::paper_default();
+    let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+    let mut rx = Receiver::new(codes, phy, ReceiverConfig::default());
+    assert!(rx.receive_coalesced(&[]).is_empty());
+    // A batch where nothing syncs still returns one report per capture.
+    let silence = vec![Iq::ZERO; 1500];
+    let short = vec![Iq::ZERO; 3];
+    let reports = rx.receive_coalesced(&[&silence, &short]);
+    assert_eq!(reports.len(), 2);
+    assert!(reports.iter().all(|r| !r.frame_detected));
+    assert!(reports.iter().all(|r| r.users.is_empty()));
+}
+
+#[test]
+fn coalesced_width_one_matches_receive() {
+    // The degenerate W=1 batch takes the same multi-window machinery;
+    // it must agree with the plain single-capture entry point.
+    let phy = PhyProfile::paper_default();
+    let codes = GoldFamily::new(5).unwrap().codes(2).unwrap();
+    let capture = capture_for(&codes, &phy, 1, 380);
+
+    let mut a = Receiver::new(codes.clone(), phy, ReceiverConfig::default());
+    let want = a.receive(&capture);
+    let mut b = Receiver::new(codes, phy, ReceiverConfig::default());
+    let got = b.receive_coalesced(&[&capture]);
+    assert_eq!(got.len(), 1);
+    assert_decisions_match(&got[0], &want, "W=1");
+}

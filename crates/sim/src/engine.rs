@@ -293,8 +293,45 @@ impl Engine {
             .copied()
             .filter(|&i| !self.scenario.faults.is_dead(i, round))
             .collect();
-        let active = active.as_slice();
 
+        let (iq, signal_meta, payloads) = self.realize_round(&active, round, &mut chan_rng);
+        let report = self.receiver.receive(&iq);
+        // Mobility: positions evolve between rounds (shadowing and the
+        // frozen carrier phases follow automatically, both being
+        // position-keyed). Its own seed stream — not `fault_rng`, whose
+        // draw count depends on how many frames were delivered — so the
+        // coalesced runner can move tags right after waveform generation
+        // (see [`Engine::run_round_batch`]) and land on identical
+        // positions.
+        if let Some(mobility) = self.scenario.mobility {
+            let mut mobility_rng = round_seq.rng("mobility");
+            for tag in &mut self.tags {
+                let next = mobility.step(&mut mobility_rng, tag.position());
+                tag.set_position(next);
+            }
+        }
+        self.settle_round(
+            round,
+            round_start,
+            active,
+            payloads,
+            signal_meta,
+            iq,
+            report,
+            &mut fault_rng,
+        )
+    }
+
+    /// Realizes one round's channel: every active tag's waveform with its
+    /// link amplitude, fading, timing and phase, mixed (with noise and
+    /// quantization) into the received IQ capture. Also returns the
+    /// per-tag payloads for delivery accounting.
+    fn realize_round(
+        &mut self,
+        active: &[usize],
+        round: u64,
+        mut chan_rng: &mut rand::rngs::StdRng,
+    ) -> (Vec<cbma_types::Iq>, Vec<SignalMeta>, Vec<Vec<u8>>) {
         let mut signals = Vec::with_capacity(active.len());
         let mut signal_meta = Vec::with_capacity(active.len());
         let mut payloads = vec![Vec::new(); self.tags.len()];
@@ -359,12 +396,28 @@ impl Engine {
             lead_in: 4 * self.scenario.rx_config.energy_window.max(32),
             tail: 64,
         };
-        let mut iq = mixer.combine(&mut chan_rng, &signals);
+        let mut iq = mixer.combine(chan_rng, &signals);
         if let Some(adc) = self.scenario.adc {
-            adc.quantize(&mut chan_rng, &mut iq);
+            adc.quantize(chan_rng, &mut iq);
         }
-        let report = self.receiver.receive(&iq);
+        (iq, signal_meta, payloads)
+    }
 
+    /// The post-reception half of a round: delivery and bit-error
+    /// accounting, ACK statistics (with downlink loss draws from the
+    /// round's fault stream), outcome assembly and observability.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_round(
+        &mut self,
+        round: u64,
+        round_start: Instant,
+        active: Vec<usize>,
+        payloads: Vec<Vec<u8>>,
+        signal_meta: Vec<SignalMeta>,
+        iq: Vec<cbma_types::Iq>,
+        report: RxReport,
+        fault_rng: &mut rand::rngs::StdRng,
+    ) -> RoundOutcome {
         // Deliveries: the right payload decoded under the right id.
         let mut delivered = Vec::new();
         for &(id, frame) in report.frames().iter() {
@@ -393,22 +446,13 @@ impl Engine {
         // Feed the tags' ACK statistics (only true deliveries ACK, and the
         // broadcast ACK itself can be lost on the downlink).
         for &i in &delivered {
-            if !self.scenario.faults.ack_lost(&mut fault_rng) {
+            if !self.scenario.faults.ack_lost(fault_rng) {
                 self.tags[i].record_ack();
-            }
-        }
-        // Mobility: positions evolve between rounds (shadowing and the
-        // frozen carrier phases follow automatically, both being
-        // position-keyed).
-        if let Some(mobility) = self.scenario.mobility {
-            for tag in &mut self.tags {
-                let next = mobility.step(&mut fault_rng, tag.position());
-                tag.set_position(next);
             }
         }
 
         let outcome = RoundOutcome {
-            active: active.to_vec(),
+            active,
             report,
             delivered,
             bit_errors,
@@ -443,6 +487,115 @@ impl Engine {
             stats.record(&outcome);
         }
         stats
+    }
+
+    /// Runs `n` all-tags rounds in coalesced batches of `width` (see
+    /// [`Engine::run_round_batch`]) and accumulates statistics. At paper
+    /// defaults the shared multi-window correlation pass makes this the
+    /// fastest way to run a long campaign.
+    pub fn run_rounds_coalesced(&mut self, n: usize, width: usize) -> RunStats {
+        let all: Vec<usize> = (0..self.tags.len()).collect();
+        let mut stats = RunStats::new(self.tags.len());
+        let mut done = 0;
+        while done < n {
+            let batch = width.max(1).min(n - done);
+            for outcome in self.run_round_batch(&all, batch) {
+                stats.record(&outcome);
+            }
+            done += batch;
+        }
+        stats
+    }
+
+    /// Runs `width` consecutive rounds whose captures are received in one
+    /// coalesced [`Receiver::receive_coalesced`] pass: every round's
+    /// waveforms are generated first (channel, fault and mobility draws
+    /// come from the same per-round seed streams as [`Engine::run_round`],
+    /// so the realized channels are identical), then all captures share
+    /// one multi-window correlation matrix pass, then each round settles
+    /// its deliveries and ACK statistics in order.
+    ///
+    /// Outcomes match `width` sequential [`Engine::run_round_subset`]
+    /// calls (active sets, channel realizations, deliveries and ACK
+    /// draws), except that detection correlations/gains differ within
+    /// FFT rounding between the coalesced and single-window paths.
+    ///
+    /// When a tracer is attached the batch records one `round_batch`
+    /// span (arg = first round index) with the receiver's
+    /// `coalesced_receive` tree nested under it, instead of per-round
+    /// `round` spans.
+    pub fn run_round_batch(&mut self, active: &[usize], width: usize) -> Vec<RoundOutcome> {
+        struct PendingRound {
+            round: u64,
+            start: Instant,
+            active: Vec<usize>,
+            payloads: Vec<Vec<u8>>,
+            signal_meta: Vec<SignalMeta>,
+            iq: Vec<cbma_types::Iq>,
+            fault_rng: rand::rngs::StdRng,
+        }
+        let first_round = self.round;
+        let _batch_span = self.tracer.clone().map(|tracer| {
+            let trace = tracer.new_trace();
+            let mut span = tracer.span(trace, None, "round_batch");
+            span.set_arg(first_round);
+            self.receiver.set_trace_parent(trace, span.id());
+            span
+        });
+        let mut pending = Vec::with_capacity(width.max(1));
+        for _ in 0..width.max(1) {
+            let start = Instant::now();
+            let round = self.round;
+            self.round += 1;
+            let round_seq = self.seq.child(&format!("round-{round}"));
+            let mut chan_rng = round_seq.rng("channel");
+            let fault_rng = round_seq.rng("faults");
+            // Injected tag deaths: dead tags silently drop out.
+            let active: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| !self.scenario.faults.is_dead(i, round))
+                .collect();
+            let (iq, signal_meta, payloads) = self.realize_round(&active, round, &mut chan_rng);
+            // Mobility steps immediately after this round's waveforms are
+            // realized — the same position trajectory as the sequential
+            // runner, because the mobility stream is independent of
+            // reception.
+            if let Some(mobility) = self.scenario.mobility {
+                let mut mobility_rng = round_seq.rng("mobility");
+                for tag in &mut self.tags {
+                    let next = mobility.step(&mut mobility_rng, tag.position());
+                    tag.set_position(next);
+                }
+            }
+            pending.push(PendingRound {
+                round,
+                start,
+                active,
+                payloads,
+                signal_meta,
+                iq,
+                fault_rng,
+            });
+        }
+        let captures: Vec<&[cbma_types::Iq]> = pending.iter().map(|p| p.iq.as_slice()).collect();
+        let reports = self.receiver.receive_coalesced(&captures);
+        pending
+            .into_iter()
+            .zip(reports)
+            .map(|(mut p, report)| {
+                self.settle_round(
+                    p.round,
+                    p.start,
+                    p.active,
+                    p.payloads,
+                    p.signal_meta,
+                    p.iq,
+                    report,
+                    &mut p.fault_rng,
+                )
+            })
+            .collect()
     }
 
     /// Mutual-coupling penalty for tag `i`: each active neighbour within
@@ -558,6 +711,59 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn coalesced_batches_match_sequential_rounds() {
+        // The coalesced runner reorders work (generate-all, receive-all,
+        // settle-all) but draws from the same per-round seed streams, so
+        // every decision must match the sequential runner: realized
+        // channels, delivered sets, ACK draws and tag statistics.
+        // Detection correlations differ within FFT rounding, so the
+        // comparison is decision-level, not RxReport float equality.
+        let mut scenario = Scenario::paper_default(near_positions(3)).with_seed(11);
+        scenario.mobility = Some(crate::faults::MobilityModel::new(
+            0.05,
+            cbma_types::geometry::Rect::office(),
+        ));
+        scenario.faults = crate::faults::FaultPlan::none()
+            .with_ack_loss(0.3)
+            .with_dead_tag(2, 4);
+        let fingerprint = |o: &RoundOutcome| {
+            let channel: Vec<(u64, u64)> = o
+                .signal_meta
+                .iter()
+                .map(|m| (m.fading_power.to_bits(), m.delay_samples.to_bits()))
+                .collect();
+            (
+                o.active.clone(),
+                o.delivered.clone(),
+                o.report.ack.iter().collect::<Vec<_>>(),
+                o.bit_errors.clone(),
+                channel,
+            )
+        };
+
+        let mut seq = Engine::new(scenario.clone()).unwrap();
+        let sequential: Vec<_> = (0..6).map(|_| fingerprint(&seq.run_round())).collect();
+
+        let mut coal = Engine::new(scenario).unwrap();
+        let all: Vec<usize> = (0..coal.tags().len()).collect();
+        let mut coalesced = Vec::new();
+        for width in [4usize, 2] {
+            coalesced.extend(coal.run_round_batch(&all, width).iter().map(&fingerprint));
+        }
+
+        assert_eq!(sequential, coalesced);
+        let stats = |e: &Engine| {
+            e.tags()
+                .iter()
+                .map(|t| (t.packets_sent(), t.acks_received()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stats(&seq), stats(&coal));
+        let pos = |e: &Engine| e.tags().iter().map(|t| t.position()).collect::<Vec<_>>();
+        assert_eq!(pos(&seq), pos(&coal));
     }
 
     #[test]
