@@ -57,7 +57,7 @@ pub use correlate::{
     correlate_iq_bipolar, normalized_correlation, sliding_correlation, PeakSearch,
 };
 pub use xcorr::{
-    BatchCorrelator, BatchScratch, FftPlan, MultiWindowCorrelator, RunningEnergy,
+    BatchCorrelator, BatchScratch, BatchStream, FftPlan, MultiWindowCorrelator, RunningEnergy,
     SlidingCorrelator, WindowScratch,
 };
 pub use energy::{power_series, EnergyDetector};

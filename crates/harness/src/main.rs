@@ -3,7 +3,7 @@
 //! ```text
 //! cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]...
 //!              [--seed N] [--workers N] [--fresh] [--list]
-//!              [--live] [--trace-out FILE]
+//!              [--live] [--trace-out FILE] [--streaming inline|threaded]
 //! ```
 //!
 //! Runs the selected campaigns (default: all built-ins) at the selected
@@ -18,12 +18,18 @@
 //! manifests. `--trace-out FILE` records one instrumented round of the
 //! first selected campaign's first point and writes a Chrome
 //! trace-event JSON viewable in Perfetto / `chrome://tracing`.
+//! `--streaming` measures through the pipelined receiver runtime with
+//! the given stage scheduler — the manifests are byte-identical to the
+//! round-synchronous default (and the trace, when requested, shows the
+//! flowgraph's stage spans instead of the monolithic capture tree).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cbma::obs::json::JsonValue;
 use cbma::obs::Tracer;
+use cbma::rx::Scheduler;
+use cbma::sim::StreamingConfig;
 use cbma_harness::{
     campaigns, job_seed, run_campaign, CampaignManifest, JobCtx, LiveAggregator, LiveConfig,
     RunnerConfig, Tier,
@@ -39,10 +45,12 @@ struct Cli {
     list: bool,
     live: bool,
     trace_out: Option<PathBuf>,
+    streaming: Option<Scheduler>,
 }
 
 const USAGE: &str = "usage: cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]... \
-[--seed N] [--workers N] [--fresh] [--list] [--live] [--trace-out FILE]";
+[--seed N] [--workers N] [--fresh] [--list] [--live] [--trace-out FILE] \
+[--streaming inline|threaded]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -55,6 +63,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         list: false,
         live: false,
         trace_out: None,
+        streaming: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -87,6 +96,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--list" => cli.list = true,
             "--live" => cli.live = true,
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--streaming" => {
+                let v = value("--streaming")?;
+                cli.streaming = Some(match v.as_str() {
+                    "inline" => Scheduler::Inline,
+                    "threaded" => Scheduler::ThreadPerStage,
+                    _ => return Err(format!("unknown streaming scheduler {v:?}\n{USAGE}")),
+                });
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -170,6 +187,10 @@ fn main() -> ExitCode {
             root_seed: cli.seed,
             checkpoint_dir: Some(checkpoint_dir),
             live: aggregator.as_ref().map(LiveAggregator::publisher),
+            streaming: cli.streaming.map(|scheduler| StreamingConfig {
+                scheduler,
+                ..StreamingConfig::default()
+            }),
             ..RunnerConfig::default()
         };
         if let Some(w) = cli.workers {
@@ -217,7 +238,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &cli.trace_out {
-        if let Err(msg) = write_trace(path, &names[0], cli.tier, cli.seed) {
+        if let Err(msg) = write_trace(path, &names[0], cli.tier, cli.seed, cli.streaming) {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
@@ -243,8 +264,17 @@ fn main() -> ExitCode {
 }
 
 /// Records one fully-instrumented round of `name`'s first point and
-/// writes a Chrome trace-event document for Perfetto.
-fn write_trace(path: &PathBuf, name: &str, tier: Tier, seed: u64) -> Result<(), String> {
+/// writes a Chrome trace-event document for Perfetto. With a streaming
+/// scheduler, the round runs through the flowgraph so the trace shows
+/// the pipeline's stage spans (`sync_stage` … `sic_stage`, `stage_run`,
+/// `stage_wait`) instead of the monolithic capture tree.
+fn write_trace(
+    path: &PathBuf,
+    name: &str,
+    tier: Tier,
+    seed: u64,
+    streaming: Option<Scheduler>,
+) -> Result<(), String> {
     let campaign =
         campaigns::by_name(name, tier).ok_or_else(|| format!("unknown campaign {name:?}"))?;
     let point = campaign
@@ -258,7 +288,19 @@ fn write_trace(path: &PathBuf, name: &str, tier: Tier, seed: u64) -> Result<(), 
     };
     let mut engine = (point.builder)(ctx);
     engine.attach_tracer(&tracer);
-    engine.run_round();
+    match streaming {
+        Some(scheduler) => {
+            let cfg = StreamingConfig {
+                width: 1,
+                scheduler,
+                ..StreamingConfig::default()
+            };
+            engine.run_streaming(1, &cfg);
+        }
+        None => {
+            engine.run_round();
+        }
+    }
     std::fs::write(path, tracer.chrome_trace(None))
         .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
@@ -317,6 +359,7 @@ mod tests {
         assert_eq!(cli.out, PathBuf::from("manifests"));
         assert!(!cli.fresh && !cli.list && !cli.live);
         assert_eq!(cli.trace_out, None);
+        assert_eq!(cli.streaming, None);
     }
 
     #[test]
@@ -324,6 +367,7 @@ mod tests {
         let cli = parse_cli(&args(&[
             "--tier", "full", "--out", "m", "--campaign", "fig11", "--campaign", "fig12",
             "--seed", "99", "--workers", "3", "--fresh", "--live", "--trace-out", "t.json",
+            "--streaming", "threaded",
         ]))
         .unwrap();
         assert_eq!(cli.tier, Tier::Full);
@@ -334,6 +378,13 @@ mod tests {
         assert!(cli.fresh);
         assert!(cli.live);
         assert_eq!(cli.trace_out, Some(PathBuf::from("t.json")));
+        assert_eq!(cli.streaming, Some(Scheduler::ThreadPerStage));
+    }
+
+    #[test]
+    fn parses_inline_streaming_scheduler() {
+        let cli = parse_cli(&args(&["--streaming", "inline"])).unwrap();
+        assert_eq!(cli.streaming, Some(Scheduler::Inline));
     }
 
     #[test]
@@ -342,5 +393,7 @@ mod tests {
         assert!(parse_cli(&args(&["--tier", "paper"])).is_err());
         assert!(parse_cli(&args(&["--seed", "abc"])).is_err());
         assert!(parse_cli(&args(&["--campaign"])).is_err());
+        assert!(parse_cli(&args(&["--streaming"])).is_err());
+        assert!(parse_cli(&args(&["--streaming", "coalesced"])).is_err());
     }
 }

@@ -62,23 +62,41 @@ impl Measurement {
     pub fn from_engine(engine: &mut Engine, rounds: usize) -> Measurement {
         let mut m = Measurement::default();
         for _ in 0..rounds {
-            let outcome = engine.run_round();
-            m.rounds += 1;
-            m.frames_sent += outcome.active.len() as u64;
-            m.frames_delivered += outcome.delivered.len() as u64;
-            for id in outcome.report.detected_ids() {
-                if outcome.active.contains(&id) {
-                    m.frames_detected += 1;
-                } else {
-                    m.false_detections += 1;
-                }
-            }
-            for &(_, errs, bits) in &outcome.bit_errors {
-                m.bit_errors += errs as u64;
-                m.bits_measured += bits as u64;
-            }
+            m.record_outcome(&engine.run_round());
         }
         m
+    }
+
+    /// Runs `rounds` transmission rounds through the streaming receiver
+    /// runtime ([`Engine::run_streaming_with`]) and aggregates the
+    /// outcomes. The streaming stages make the same decisions as the
+    /// monolithic receive at every block size and scheduler, so this is
+    /// byte-for-byte interchangeable with [`Measurement::from_engine`].
+    pub fn from_engine_streaming(
+        engine: &mut Engine,
+        rounds: usize,
+        cfg: &StreamingConfig,
+    ) -> Measurement {
+        let mut m = Measurement::default();
+        engine.run_streaming_with(rounds, cfg, |outcome| m.record_outcome(outcome));
+        m
+    }
+
+    fn record_outcome(&mut self, outcome: &RoundOutcome) {
+        self.rounds += 1;
+        self.frames_sent += outcome.active.len() as u64;
+        self.frames_delivered += outcome.delivered.len() as u64;
+        for id in outcome.report.detected_ids() {
+            if outcome.active.contains(&id) {
+                self.frames_detected += 1;
+            } else {
+                self.false_detections += 1;
+            }
+        }
+        for &(_, errs, bits) in &outcome.bit_errors {
+            self.bit_errors += errs as u64;
+            self.bits_measured += bits as u64;
+        }
     }
 
     /// Frame error rate (1 − delivered/sent); 0 when nothing was sent.

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use cbma::obs::MetricsRegistry;
+use cbma::sim::StreamingConfig;
 use cbma_types::SeedSequence;
 
 use crate::campaign::{Campaign, JobCtx};
@@ -93,6 +94,11 @@ pub struct RunnerConfig {
     /// here. `None` (the default) disables live streaming and costs
     /// nothing on the measurement path.
     pub live: Option<LivePublisher>,
+    /// Measure through the streaming receiver runtime instead of the
+    /// round-synchronous engine loop. Decisions are identical (the
+    /// streaming stages call the same receive seams), so the manifest
+    /// bytes do not change; only the execution shape does.
+    pub streaming: Option<StreamingConfig>,
 }
 
 impl Default for RunnerConfig {
@@ -107,6 +113,7 @@ impl Default for RunnerConfig {
             max_backoff: Duration::from_secs(2),
             checkpoint_dir: None,
             live: None,
+            streaming: None,
         }
     }
 }
@@ -133,35 +140,37 @@ pub fn job_seed(root_seed: u64, campaign: &str, point_label: &str, replicate: us
 
 /// Measures one point: all replicates, one shared metrics registry.
 /// When a live publisher is supplied, every completed replicate streams
-/// the point's cumulative timing-stripped snapshot.
-fn measure_point(
-    campaign: &Campaign,
-    index: usize,
-    root_seed: u64,
-    live: Option<&LivePublisher>,
-) -> PointResult {
+/// the point's cumulative volatile-stripped snapshot. When a streaming
+/// configuration is set, rounds run through the pipelined receiver
+/// runtime — same decisions, same manifest bytes.
+fn measure_point(campaign: &Campaign, index: usize, cfg: &RunnerConfig) -> PointResult {
     let point = &campaign.points[index];
     let registry = MetricsRegistry::new();
     let mut totals = Measurement::default();
     let mut replicate_fers = Vec::with_capacity(campaign.replicates);
     for replicate in 0..campaign.replicates {
         let ctx = JobCtx {
-            seed: job_seed(root_seed, campaign.name, &point.label, replicate),
+            seed: job_seed(cfg.root_seed, campaign.name, &point.label, replicate),
             replicate,
         };
         let mut engine = (point.builder)(ctx);
         engine.attach_observability(&registry);
-        let m = Measurement::from_engine(&mut engine, campaign.rounds);
+        let m = match &cfg.streaming {
+            Some(streaming) => {
+                Measurement::from_engine_streaming(&mut engine, campaign.rounds, streaming)
+            }
+            None => Measurement::from_engine(&mut engine, campaign.rounds),
+        };
         replicate_fers.push(m.fer());
         totals.merge(&m);
-        if let Some(live) = live {
+        if let Some(live) = &cfg.live {
             live.publish(LiveUpdate::ReplicateDone {
                 campaign: campaign.name.to_string(),
                 point_index: index,
                 label: point.label.clone(),
                 replicates_done: replicate + 1,
                 totals,
-                snapshot: registry.snapshot().without_timings(),
+                snapshot: registry.snapshot().without_volatile(),
             });
         }
     }
@@ -171,8 +180,10 @@ fn measure_point(
         params: point.params.clone(),
         totals,
         replicate_fers,
-        // Wall-clock metrics are stripped so manifests are byte-stable.
-        snapshot: registry.snapshot().without_timings(),
+        // Wall-clock and allocation metrics are stripped so manifests are
+        // byte-stable (and identical between the round-synchronous and
+        // streaming execution shapes).
+        snapshot: registry.snapshot().without_volatile(),
     }
 }
 
@@ -184,9 +195,7 @@ fn measure_point_with_retry(
 ) -> Result<PointResult, HarnessError> {
     let mut last_panic = String::new();
     for attempt in 1..=cfg.max_attempts.max(1) {
-        let run = panic::catch_unwind(AssertUnwindSafe(|| {
-            measure_point(campaign, index, cfg.root_seed, cfg.live.as_ref())
-        }));
+        let run = panic::catch_unwind(AssertUnwindSafe(|| measure_point(campaign, index, cfg)));
         match run {
             Ok(result) => return Ok(result),
             Err(payload) => {
@@ -284,7 +293,15 @@ pub fn run_campaign(
                             let point_started = Instant::now();
                             let (result, from_checkpoint) =
                                 match store.and_then(|s| s.load(index, label)) {
-                                    Some(cached) => (cached, true),
+                                    // Shards written before the volatile-metric
+                                    // policy may still embed `_ns`/`_bytes`
+                                    // series; strip on load so the manifest
+                                    // bytes never depend on when a shard was
+                                    // persisted.
+                                    Some(mut cached) => {
+                                        cached.snapshot = cached.snapshot.without_volatile();
+                                        (cached, true)
+                                    }
                                     None => {
                                         let computed =
                                             measure_point_with_retry(campaign, index, cfg)
@@ -393,6 +410,7 @@ mod tests {
             max_backoff: Duration::from_millis(4),
             checkpoint_dir: None,
             live: None,
+            streaming: None,
         }
     }
 

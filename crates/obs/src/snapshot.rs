@@ -160,6 +160,16 @@ impl Snapshot {
         self.retain_metrics(|name| !name.ends_with("_ns"))
     }
 
+    /// Drops every run-to-run volatile metric: wall-clock timings
+    /// (`*_ns`) *and* memory levels (`*_bytes`, e.g. scratch-arena
+    /// high-water gauges, which depend on allocator rounding and capture
+    /// coalescing order). This is the projection deterministic campaign
+    /// manifests embed; [`Snapshot::without_timings`] remains for
+    /// consumers that want the memory levels kept.
+    pub fn without_volatile(&self) -> Snapshot {
+        self.retain_metrics(|name| !name.ends_with("_ns") && !name.ends_with("_bytes"))
+    }
+
     /// Serializes to a stable, human-diffable JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
@@ -430,6 +440,24 @@ mod tests {
         assert_eq!(filtered.gauges, snap.gauges);
         // Round-trips like any other snapshot.
         assert_eq!(Snapshot::from_json(&filtered.to_json()).unwrap(), filtered);
+    }
+
+    #[test]
+    fn without_volatile_drops_ns_and_bytes_metrics() {
+        let mut snap = sample_snapshot();
+        snap.gauges.insert("cbma.rx.scratch_bytes".into(), 8192.0);
+        let filtered = snap.without_volatile();
+        assert!(!filtered.histograms.contains_key("cbma.rx.stage.decode_ns"));
+        assert!(!filtered.gauges.contains_key("cbma.rx.scratch_bytes"));
+        // Deterministic metrics survive untouched.
+        assert_eq!(filtered.counters, snap.counters);
+        assert_eq!(filtered.gauges["cbma.sim.delivery_ratio"], 0.75);
+        // without_timings keeps the memory level; without_volatile is the
+        // strictly smaller projection.
+        assert!(snap
+            .without_timings()
+            .gauges
+            .contains_key("cbma.rx.scratch_bytes"));
     }
 
     #[test]

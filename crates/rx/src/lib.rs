@@ -17,17 +17,22 @@
 //! 4. **Acknowledgement** ([`ack`]) — the broadcast ACK listing the
 //!    successfully decoded tag ids, which drives the tags' power control.
 //!
-//! [`receiver`] chains the four stages behind one call.
+//! [`receiver`] chains the four stages behind one call; [`runtime`] runs
+//! the same four stages as a pipelined streaming flowgraph over bounded
+//! ring buffers, decision-identical to the monolithic call at every
+//! block size.
 //!
 //! # Examples
 //!
-//! See [`receiver::Receiver`] for an end-to-end decode example.
+//! See [`receiver::Receiver`] for an end-to-end decode example and
+//! [`runtime::RxFlowgraph`] for the streaming form.
 
 pub mod ack;
 pub mod decoder;
 pub mod downlink;
 pub mod frame_sync;
 pub mod receiver;
+pub mod runtime;
 pub mod sic;
 pub mod stream_pool;
 pub mod user_detect;
@@ -35,9 +40,13 @@ pub mod user_detect;
 pub use ack::AckMessage;
 pub use decoder::{DecodeOutcome, Decoder, DecoderKind};
 pub use downlink::AckWire;
-pub use frame_sync::FrameSync;
+pub use frame_sync::{FrameSync, SyncStream};
 pub use receiver::{Receiver, ReceiverConfig, RxReport, RxScratch, RxTelemetry};
-pub use stream_pool::{StreamPool, StreamPoolConfig, StreamResult};
+pub use runtime::{
+    CaptureSource, FlowgraphError, RunOutput, RunStats, RuntimeConfig, RxFlowgraph, SampleSource,
+    Scheduler, SourceBlock, StageKind,
+};
+pub use stream_pool::{InOrderEmitter, StreamPool, StreamPoolConfig, StreamResult};
 pub use user_detect::{
     CorrelationPath, DetectScratch, DetectedUser, MultiDetectScratch, UserDetector,
     FFT_LAG_CROSSOVER,

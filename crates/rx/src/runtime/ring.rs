@@ -1,0 +1,379 @@
+//! Bounded single-producer single-consumer ring buffers.
+//!
+//! The streaming flowgraph's stages are connected by these rings: a
+//! fixed-capacity circular buffer behind a mutex with two condvars
+//! (`not_full` for the producer, `not_empty` for the consumer). The
+//! capacity bound is the backpressure mechanism — a stalled consumer
+//! blocks its producer after at most `capacity` queued items, and the
+//! stall propagates stage by stage back to the sample source, so total
+//! in-flight memory is bounded by the ring capacities no matter how slow
+//! the sink is.
+//!
+//! Shutdown and failure are first-class:
+//!
+//! * dropping (or [`Producer::finish`]ing) the producer ends the stream —
+//!   the consumer drains what is buffered and then sees `Ok(None)`;
+//! * dropping the consumer disconnects the ring — the producer's next
+//!   push fails with [`RingError::Disconnected`] instead of blocking
+//!   forever, which is how upstream stages learn a downstream stage died;
+//! * [`Producer::poison`] marks the ring failed with a message — both
+//!   endpoints see [`RingError::Poisoned`] immediately, which is how a
+//!   panicking stage reports *why* the flowgraph stopped.
+//!
+//! The implementation is deliberately a model-checkable safe-Rust ring
+//! (`Vec<Option<T>>` + head/len indices, no unsafe, no atomics beyond
+//! the mutex) — `crates/rx/tests/ring_props.rs` property-tests it
+//! against a `VecDeque` oracle and stress-tests the two-thread path.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a ring operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// The other endpoint was dropped: the stream can never make
+    /// progress again (but was not abnormal).
+    Disconnected,
+    /// A stage failed and poisoned the flowgraph; the message says which
+    /// and why.
+    Poisoned(String),
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Disconnected => write!(f, "ring disconnected"),
+            RingError::Poisoned(msg) => write!(f, "ring poisoned: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// Outcome of a non-blocking [`Producer::try_push`].
+#[derive(Debug)]
+pub enum TryPush<T> {
+    /// The item was queued.
+    Pushed,
+    /// The ring is at capacity; the item comes back.
+    Full(T),
+    /// The ring can never accept the item; it comes back with the cause.
+    Closed(T, RingError),
+}
+
+/// Outcome of a non-blocking [`Consumer::try_pop`].
+#[derive(Debug)]
+pub enum TryPop<T> {
+    /// The oldest queued item.
+    Item(T),
+    /// Nothing buffered right now, but the producer is still live.
+    Empty,
+    /// The producer finished and the ring is drained.
+    Finished,
+}
+
+struct RingState<T> {
+    /// Fixed-capacity circular storage; `None` marks an empty slot.
+    slots: Vec<Option<T>>,
+    /// Index of the oldest item.
+    head: usize,
+    /// Items currently queued.
+    len: usize,
+    producer_done: bool,
+    consumer_gone: bool,
+    poisoned: Option<String>,
+    /// High-water mark of `len`, for backpressure diagnostics.
+    max_depth: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<RingState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Creates a bounded SPSC ring holding at most `capacity` items
+/// (clamped to ≥ 1). Returns the two endpoints; each is `Send` and owns
+/// its side of the protocol.
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.max(1);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(RingState {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            producer_done: false,
+            consumer_gone: false,
+            poisoned: None,
+            max_depth: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+/// The sending endpoint of a [`ring`].
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving endpoint of a [`ring`].
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A passive observer of one ring's depth statistics; keeps the state
+/// alive after both endpoints drop so post-run diagnostics can read the
+/// high-water mark.
+pub struct DepthProbe<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> DepthProbe<T> {
+    /// The deepest the ring ever got.
+    pub fn max_depth(&self) -> usize {
+        self.shared.state.lock().expect("ring lock").max_depth
+    }
+}
+
+impl<T> Producer<T> {
+    /// Queues `item`, blocking while the ring is full. Fails — returning
+    /// immediately, never blocking forever — once the consumer is gone
+    /// or the ring is poisoned.
+    pub fn push(&self, item: T) -> Result<(), RingError> {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        loop {
+            if let Some(msg) = &state.poisoned {
+                return Err(RingError::Poisoned(msg.clone()));
+            }
+            if state.consumer_gone {
+                return Err(RingError::Disconnected);
+            }
+            if state.len < state.slots.len() {
+                break;
+            }
+            state = self.shared.not_full.wait(state).expect("ring lock");
+        }
+        let cap = state.slots.len();
+        let tail = (state.head + state.len) % cap;
+        debug_assert!(state.slots[tail].is_none(), "occupied tail slot");
+        state.slots[tail] = Some(item);
+        state.len += 1;
+        state.max_depth = state.max_depth.max(state.len);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking [`Producer::push`].
+    pub fn try_push(&self, item: T) -> TryPush<T> {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        if let Some(msg) = &state.poisoned {
+            return TryPush::Closed(item, RingError::Poisoned(msg.clone()));
+        }
+        if state.consumer_gone {
+            return TryPush::Closed(item, RingError::Disconnected);
+        }
+        if state.len == state.slots.len() {
+            return TryPush::Full(item);
+        }
+        let cap = state.slots.len();
+        let tail = (state.head + state.len) % cap;
+        state.slots[tail] = Some(item);
+        state.len += 1;
+        state.max_depth = state.max_depth.max(state.len);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        TryPush::Pushed
+    }
+
+    /// Ends the stream: the consumer drains the buffered items and then
+    /// sees `Ok(None)`. Dropping the producer does the same.
+    pub fn finish(&self) {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        state.producer_done = true;
+        drop(state);
+        self.shared.not_empty.notify_all();
+    }
+
+    /// Marks the ring failed: both endpoints see
+    /// [`RingError::Poisoned`] with `message` from now on. Used by a
+    /// panicking stage to carry its panic message to the sink.
+    pub fn poison(&self, message: impl Into<String>) {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        if state.poisoned.is_none() {
+            state.poisoned = Some(message.into());
+        }
+        drop(state);
+        self.shared.not_full.notify_all();
+        self.shared.not_empty.notify_all();
+    }
+
+    /// A depth observer for this ring.
+    pub fn probe(&self) -> DepthProbe<T> {
+        DepthProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// The next item, blocking while the ring is empty and the producer
+    /// live. `Ok(None)` once the producer finished and the ring drained;
+    /// `Err` if the ring was poisoned.
+    pub fn pop(&self) -> Result<Option<T>, RingError> {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        loop {
+            if let Some(msg) = &state.poisoned {
+                return Err(RingError::Poisoned(msg.clone()));
+            }
+            if state.len > 0 {
+                break;
+            }
+            if state.producer_done {
+                return Ok(None);
+            }
+            state = self.shared.not_empty.wait(state).expect("ring lock");
+        }
+        let head = state.head;
+        let item = state.slots[head].take().expect("len > 0");
+        state.head = (head + 1) % state.slots.len();
+        state.len -= 1;
+        drop(state);
+        self.shared.not_full.notify_one();
+        Ok(Some(item))
+    }
+
+    /// Non-blocking [`Consumer::pop`].
+    pub fn try_pop(&self) -> Result<TryPop<T>, RingError> {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        if let Some(msg) = &state.poisoned {
+            return Err(RingError::Poisoned(msg.clone()));
+        }
+        if state.len == 0 {
+            return Ok(if state.producer_done {
+                TryPop::Finished
+            } else {
+                TryPop::Empty
+            });
+        }
+        let head = state.head;
+        let item = state.slots[head].take().expect("len > 0");
+        state.head = (head + 1) % state.slots.len();
+        state.len -= 1;
+        drop(state);
+        self.shared.not_full.notify_one();
+        Ok(TryPop::Item(item))
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().expect("ring lock").len
+    }
+
+    /// A depth observer for this ring.
+    pub fn probe(&self) -> DepthProbe<T> {
+        DepthProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        state.consumer_gone = true;
+        drop(state);
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = ring::<u32>(3);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop().unwrap(), Some(1));
+        tx.push(3).unwrap();
+        tx.push(4).unwrap();
+        assert!(matches!(tx.try_push(5), TryPush::Full(5)));
+        assert_eq!(rx.pop().unwrap(), Some(2));
+        assert_eq!(rx.pop().unwrap(), Some(3));
+        assert_eq!(rx.pop().unwrap(), Some(4));
+        assert!(matches!(rx.try_pop().unwrap(), TryPop::Empty));
+        drop(tx);
+        assert_eq!(rx.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn producer_drop_finishes_consumer_drop_disconnects() {
+        let (tx, rx) = ring::<u8>(2);
+        tx.push(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop().unwrap(), Some(9));
+        assert_eq!(rx.pop().unwrap(), None);
+
+        let (tx, rx) = ring::<u8>(2);
+        drop(rx);
+        assert_eq!(tx.push(1), Err(RingError::Disconnected));
+    }
+
+    #[test]
+    fn poison_reaches_both_ends_with_the_message() {
+        let (tx, rx) = ring::<u8>(2);
+        tx.push(1).unwrap();
+        tx.poison("stage exploded");
+        assert_eq!(
+            rx.pop(),
+            Err(RingError::Poisoned("stage exploded".into()))
+        );
+        assert_eq!(
+            tx.push(2),
+            Err(RingError::Poisoned("stage exploded".into()))
+        );
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water_mark() {
+        let (tx, rx) = ring::<u8>(4);
+        let probe = rx.probe();
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push(3).unwrap();
+        rx.pop().unwrap();
+        rx.pop().unwrap();
+        tx.push(4).unwrap();
+        assert_eq!(probe.max_depth(), 3);
+        drop(tx);
+        drop(rx);
+        // The probe outlives both endpoints.
+        assert_eq!(probe.max_depth(), 3);
+    }
+}

@@ -59,6 +59,72 @@ pub struct StreamResult {
     pub report: RxReport,
 }
 
+/// In-order `(stream, seq)` emission shared by [`StreamPool`] and the
+/// streaming runtime's sink ([`crate::runtime::RxFlowgraph`]):
+/// completions are buffered in whatever order workers finish and leave
+/// per stream in submission order.
+#[derive(Debug, Default)]
+pub struct InOrderEmitter {
+    /// Next seq to emit per stream.
+    emit_next: Vec<u64>,
+    /// Out-of-order completions awaiting their predecessors.
+    reorder: BTreeMap<(usize, u64), RxReport>,
+    emitted: usize,
+}
+
+impl InOrderEmitter {
+    /// An emitter with no streams registered yet (streams grow on first
+    /// [`InOrderEmitter::insert`] or [`InOrderEmitter::track`]).
+    pub fn new() -> InOrderEmitter {
+        InOrderEmitter::default()
+    }
+
+    /// Registers `stream`, growing the per-stream cursor table. Inserting
+    /// does this implicitly; tracking up front lets a caller reserve
+    /// stream slots before any completion arrives.
+    pub fn track(&mut self, stream: usize) {
+        if self.emit_next.len() <= stream {
+            self.emit_next.resize(stream + 1, 0);
+        }
+    }
+
+    /// Buffers one completion until its per-stream predecessors emit.
+    pub fn insert(&mut self, stream: usize, seq: u64, report: RxReport) {
+        self.track(stream);
+        self.reorder.insert((stream, seq), report);
+    }
+
+    /// Results emitted so far (over the emitter's lifetime).
+    #[inline]
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Completions buffered, still waiting on predecessors.
+    #[inline]
+    pub fn buffered(&self) -> usize {
+        self.reorder.len()
+    }
+
+    /// Moves every in-order entry out of the reorder buffer, in
+    /// `(stream, seq)` order.
+    pub fn take_ready(&mut self) -> Vec<StreamResult> {
+        let mut out = Vec::new();
+        for stream in 0..self.emit_next.len() {
+            while let Some(report) = self.reorder.remove(&(stream, self.emit_next[stream])) {
+                out.push(StreamResult {
+                    stream,
+                    seq: self.emit_next[stream],
+                    report,
+                });
+                self.emit_next[stream] += 1;
+                self.emitted += 1;
+            }
+        }
+        out
+    }
+}
+
 /// One queued capture.
 struct Job {
     stream: usize,
@@ -108,12 +174,10 @@ pub struct StreamPool {
     workers: Vec<JoinHandle<()>>,
     /// Next submission seq per stream (grows on first use).
     next_seq: Vec<u64>,
-    /// Next seq to emit per stream.
-    emit_next: Vec<u64>,
-    /// Out-of-order completions awaiting their predecessors.
-    reorder: BTreeMap<(usize, u64), RxReport>,
+    /// In-order result emission (shared logic with the streaming
+    /// runtime's sink).
+    emitter: InOrderEmitter,
     submitted: usize,
-    collected: usize,
 }
 
 impl StreamPool {
@@ -157,10 +221,8 @@ impl StreamPool {
             results,
             workers,
             next_seq: Vec::new(),
-            emit_next: Vec::new(),
-            reorder: BTreeMap::new(),
+            emitter: InOrderEmitter::new(),
             submitted: 0,
-            collected: 0,
         }
     }
 
@@ -169,8 +231,8 @@ impl StreamPool {
     pub fn submit(&mut self, stream: usize, capture: Vec<Iq>) -> u64 {
         if self.next_seq.len() <= stream {
             self.next_seq.resize(stream + 1, 0);
-            self.emit_next.resize(stream + 1, 0);
         }
+        self.emitter.track(stream);
         let seq = self.next_seq[stream];
         self.next_seq[stream] += 1;
         self.submitted += 1;
@@ -190,49 +252,30 @@ impl StreamPool {
     /// or [`StreamPool::drain`].
     #[inline]
     pub fn pending(&self) -> usize {
-        self.submitted - self.collected
+        self.submitted - self.emitter.emitted()
     }
 
     /// Non-blocking: collects every finished capture whose per-stream
     /// predecessors have all been emitted, in (stream, seq) order.
     pub fn ready(&mut self) -> Vec<StreamResult> {
         while let Ok(result) = self.results.try_recv() {
-            self.reorder
-                .insert((result.stream, result.seq), result.report);
+            self.emitter.insert(result.stream, result.seq, result.report);
         }
-        self.emit_in_order()
+        self.emitter.take_ready()
     }
 
     /// Blocks until every submitted capture has been processed, then
     /// returns all uncollected results in (stream, seq) order.
     pub fn drain(&mut self) -> Vec<StreamResult> {
         let mut out = self.ready();
-        while self.collected + self.reorder.len() + out.len() < self.submitted {
+        while self.emitter.emitted() + self.emitter.buffered() + out.len() < self.submitted {
             let result = self
                 .results
                 .recv()
                 .expect("workers alive while jobs are pending");
-            self.reorder
-                .insert((result.stream, result.seq), result.report);
+            self.emitter.insert(result.stream, result.seq, result.report);
         }
-        out.extend(self.emit_in_order());
-        out
-    }
-
-    /// Moves every in-order entry out of the reorder buffer.
-    fn emit_in_order(&mut self) -> Vec<StreamResult> {
-        let mut out = Vec::new();
-        for stream in 0..self.emit_next.len() {
-            while let Some(report) = self.reorder.remove(&(stream, self.emit_next[stream])) {
-                out.push(StreamResult {
-                    stream,
-                    seq: self.emit_next[stream],
-                    report,
-                });
-                self.emit_next[stream] += 1;
-                self.collected += 1;
-            }
-        }
+        out.extend(self.emitter.take_ready());
         out
     }
 }
@@ -255,7 +298,7 @@ impl std::fmt::Debug for StreamPool {
         f.debug_struct("StreamPool")
             .field("workers", &self.workers.len())
             .field("submitted", &self.submitted)
-            .field("collected", &self.collected)
+            .field("collected", &self.emitter.emitted())
             .finish()
     }
 }

@@ -1,0 +1,145 @@
+//! Property tests for the bounded SPSC ring the streaming runtime is
+//! built on.
+//!
+//! Single-threaded: an arbitrary interleaving of try_push/try_pop
+//! operations against a `VecDeque` oracle must agree on every accepted
+//! element, every rejection (full/empty), and the final drain — across
+//! wrap-around, capacity 1 and repeated fill/drain cycles. Concurrent:
+//! a producer and a consumer on real threads must move every element
+//! exactly once, in order, for capacities that force heavy blocking.
+
+use std::collections::VecDeque;
+
+use cbma_rx::runtime::{ring, TryPop, TryPush};
+use proptest::prelude::*;
+
+/// One scripted step against the ring: push a value or pop one.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..1_000_000).prop_map(Op::Push),
+            Just(Op::Pop),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_agrees_with_vecdeque_oracle(
+        capacity in 1usize..6,
+        ops in ops_strategy(),
+    ) {
+        let (tx, rx) = ring::<u32>(capacity);
+        let mut oracle: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => match tx.try_push(v) {
+                    TryPush::Pushed => {
+                        prop_assert!(
+                            oracle.len() < capacity,
+                            "accepted a push the oracle says is full"
+                        );
+                        oracle.push_back(v);
+                    }
+                    TryPush::Full(returned) => {
+                        prop_assert_eq!(returned, v);
+                        prop_assert_eq!(oracle.len(), capacity, "rejected a non-full push");
+                    }
+                    TryPush::Closed(..) => {
+                        prop_assert!(false, "ring closed with both ends alive");
+                    }
+                },
+                Op::Pop => match rx.try_pop() {
+                    Ok(TryPop::Item(v)) => {
+                        prop_assert_eq!(Some(v), oracle.pop_front());
+                    }
+                    Ok(TryPop::Empty) => {
+                        prop_assert!(oracle.is_empty(), "reported empty with items queued");
+                    }
+                    Ok(TryPop::Finished) => {
+                        prop_assert!(false, "finished with the producer alive");
+                    }
+                    Err(e) => {
+                        prop_assert!(false, "ring errored with both ends alive: {e}");
+                    }
+                },
+            }
+            prop_assert_eq!(rx.depth(), oracle.len());
+        }
+        // Finish and drain: exactly the oracle's remainder, in order.
+        drop(tx);
+        let mut rest = Vec::new();
+        while let Ok(Some(v)) = rx.pop() {
+            rest.push(v);
+        }
+        prop_assert_eq!(rest, oracle.into_iter().collect::<Vec<_>>());
+        prop_assert!(matches!(rx.try_pop(), Ok(TryPop::Finished)));
+    }
+
+    #[test]
+    fn concurrent_transfer_loses_nothing(
+        capacity in 1usize..4,
+        count in 0usize..400,
+    ) {
+        let (tx, rx) = ring::<usize>(capacity);
+        let got = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..count {
+                    tx.push(i).expect("consumer lives until the drain ends");
+                }
+            });
+            let mut got = Vec::with_capacity(count);
+            while let Ok(Some(v)) = rx.pop() {
+                got.push(v);
+            }
+            got
+        });
+        // No loss, no duplication, no reorder.
+        prop_assert_eq!(got, (0..count).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn capacity_one_ping_pong_stays_in_order() {
+    // The tightest ring: every push blocks until the matching pop.
+    let (tx, rx) = ring::<u64>(1);
+    let n = 10_000u64;
+    let got = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..n {
+                tx.push(i).unwrap();
+            }
+        });
+        let mut got = Vec::with_capacity(n as usize);
+        while let Ok(Some(v)) = rx.pop() {
+            got.push(v);
+        }
+        got
+    });
+    assert_eq!(got, (0..n).collect::<Vec<_>>());
+}
+
+#[test]
+fn consumer_drop_unblocks_a_full_producer() {
+    let (tx, rx) = ring::<u32>(1);
+    assert!(matches!(tx.try_push(7), TryPush::Pushed));
+    let err = std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            // The ring is full; this push can only end via the consumer
+            // disappearing.
+            tx.push(8)
+        });
+        drop(rx);
+        handle.join().unwrap()
+    });
+    assert!(err.is_err(), "push must fail once the consumer is gone");
+}

@@ -14,6 +14,7 @@ use rand::Rng;
 
 use cbma_channel::mixer::{Mixer, TagSignal};
 use cbma_obs::{Counter, Event, Gauge, Histogram, MetricsRegistry, NoopSink, Sink, Tracer};
+use cbma_rx::runtime::{CaptureSource, RuntimeConfig, RxFlowgraph, Scheduler};
 use cbma_rx::{Receiver, RxReport};
 use cbma_tag::{ImpedanceBank, Tag};
 use cbma_types::geometry::Point;
@@ -109,6 +110,45 @@ impl SimMetrics {
         if !outcome.active.is_empty() {
             self.delivery_ratio
                 .set(outcome.delivered.len() as f64 / outcome.active.len() as f64);
+        }
+    }
+}
+
+/// Knobs for [`Engine::run_streaming`]: how many rounds to realize per
+/// flowgraph pass and how the streaming runtime is shaped. None of these
+/// change outcomes — only latency, memory and parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingConfig {
+    /// Rounds realized (and fed through the flowgraph) per batch
+    /// (clamped to ≥ 1).
+    pub width: usize,
+    /// Samples per source block (clamped to ≥ 1).
+    pub block_size: usize,
+    /// Capacity of each inter-stage ring buffer (clamped to ≥ 1).
+    pub ring_capacity: usize,
+    /// Stage scheduler.
+    pub scheduler: Scheduler,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> StreamingConfig {
+        let runtime = RuntimeConfig::default();
+        StreamingConfig {
+            width: 8,
+            block_size: runtime.block_size,
+            ring_capacity: runtime.ring_capacity,
+            scheduler: runtime.scheduler,
+        }
+    }
+}
+
+impl StreamingConfig {
+    /// The flowgraph runtime configuration this run asks for.
+    pub fn runtime(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            block_size: self.block_size,
+            ring_capacity: self.ring_capacity,
+            scheduler: self.scheduler,
         }
     }
 }
@@ -598,6 +638,144 @@ impl Engine {
             .collect()
     }
 
+    /// Runs `n` all-tags rounds through the streaming receiver runtime
+    /// ([`RxFlowgraph`]): rounds are realized in batches of `cfg.width`
+    /// with the exact per-round seed streams of [`Engine::run_round`],
+    /// each capture is chopped into `cfg.block_size`-sample blocks and fed
+    /// through the pipelined flowgraph, and every round settles its
+    /// deliveries and ACK statistics in round order.
+    ///
+    /// The streaming stages call the same frame-sync/detect/decode/SIC
+    /// seams as the monolithic [`Receiver::receive`], so outcomes are
+    /// identical to `n` sequential [`Engine::run_round`] calls — for every
+    /// block size, ring capacity and scheduler (the block-boundary
+    /// equivalence suite in `crates/rx/tests/streaming_equivalence.rs`
+    /// and the manifest byte-identity test in `tests/streaming.rs` pin
+    /// this down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flowgraph fails (a stage panicked); the harness
+    /// retry machinery treats this like any other mid-round panic.
+    pub fn run_streaming(&mut self, n: usize, cfg: &StreamingConfig) -> RunStats {
+        self.run_streaming_with(n, cfg, |_| {})
+    }
+
+    /// Like [`Engine::run_streaming`], but hands every settled
+    /// [`RoundOutcome`] (in round order) to `on_outcome` — the hook the
+    /// harness uses to aggregate per-round measurements.
+    ///
+    /// # Panics
+    ///
+    /// As [`Engine::run_streaming`].
+    pub fn run_streaming_with(
+        &mut self,
+        n: usize,
+        cfg: &StreamingConfig,
+        mut on_outcome: impl FnMut(&RoundOutcome),
+    ) -> RunStats {
+        struct PendingRound {
+            round: u64,
+            start: Instant,
+            active: Vec<usize>,
+            payloads: Vec<Vec<u8>>,
+            signal_meta: Vec<SignalMeta>,
+            iq: Vec<cbma_types::Iq>,
+            fault_rng: rand::rngs::StdRng,
+        }
+        let all: Vec<usize> = (0..self.tags.len()).collect();
+        let mut stats = RunStats::new(self.tags.len());
+        // One flowgraph for the whole run: threads and rings are built per
+        // `run` call, but the stage receivers (and their scratch) persist
+        // across batches.
+        let family = self
+            .scenario
+            .family
+            .build()
+            .expect("scenario validated at construction");
+        let codes = family
+            .codes(self.scenario.n_tags())
+            .expect("scenario validated at construction");
+        let mut flow = RxFlowgraph::new(
+            codes,
+            self.scenario.phy,
+            self.scenario.rx_config,
+            cfg.runtime(),
+        );
+        if let Some(tracer) = &self.tracer {
+            flow.attach_tracer(tracer);
+        }
+        let mut done = 0;
+        while done < n {
+            let width = cfg.width.max(1).min(n - done);
+            let _batch_span = self.tracer.clone().map(|tracer| {
+                let trace = tracer.new_trace();
+                let mut span = tracer.span(trace, None, "streaming_batch");
+                span.set_arg(self.round);
+                span
+            });
+            let mut pending = Vec::with_capacity(width);
+            let mut source = CaptureSource::new(cfg.block_size);
+            for _ in 0..width {
+                let start = Instant::now();
+                let round = self.round;
+                self.round += 1;
+                let round_seq = self.seq.child(&format!("round-{round}"));
+                let mut chan_rng = round_seq.rng("channel");
+                let fault_rng = round_seq.rng("faults");
+                let active: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&i| !self.scenario.faults.is_dead(i, round))
+                    .collect();
+                let (iq, signal_meta, payloads) =
+                    self.realize_round(&active, round, &mut chan_rng);
+                // Mobility steps right after realization, exactly as in
+                // the coalesced runner (the stream is reception-independent
+                // so positions match the sequential trajectory).
+                if let Some(mobility) = self.scenario.mobility {
+                    let mut mobility_rng = round_seq.rng("mobility");
+                    for tag in &mut self.tags {
+                        let next = mobility.step(&mut mobility_rng, tag.position());
+                        tag.set_position(next);
+                    }
+                }
+                source.push(0, iq.clone());
+                pending.push(PendingRound {
+                    round,
+                    start,
+                    active,
+                    payloads,
+                    signal_meta,
+                    iq,
+                    fault_rng,
+                });
+            }
+            let output = flow
+                .run(source)
+                .unwrap_or_else(|e| panic!("streaming round batch: {e}"));
+            for (mut p, result) in pending.into_iter().zip(output.results) {
+                // Mirror `Receiver::receive`'s metric recording so the
+                // streaming path feeds the same `cbma.rx.*` series.
+                self.receiver.record_report_metrics(&result.report);
+                let outcome = self.settle_round(
+                    p.round,
+                    p.start,
+                    p.active,
+                    p.payloads,
+                    p.signal_meta,
+                    p.iq,
+                    result.report,
+                    &mut p.fault_rng,
+                );
+                stats.record(&outcome);
+                on_outcome(&outcome);
+            }
+            done += width;
+        }
+        stats
+    }
+
     /// Mutual-coupling penalty for tag `i`: each active neighbour within
     /// the coupling radius multiplies the amplitude by a random factor in
     /// [0.15, 0.7] (§VII-C.1: "the distance between tags can be too small
@@ -764,6 +942,48 @@ mod tests {
         assert_eq!(stats(&seq), stats(&coal));
         let pos = |e: &Engine| e.tags().iter().map(|t| t.position()).collect::<Vec<_>>();
         assert_eq!(pos(&seq), pos(&coal));
+    }
+
+    #[test]
+    fn streaming_matches_sequential_rounds() {
+        // The streaming runtime calls the same monolithic receiver seams
+        // block-by-block, so — unlike the coalesced path, which differs
+        // within FFT rounding — its outcomes are *identical* to the
+        // sequential runner, for every scheduler, block size and batch
+        // width.
+        let mut scenario = Scenario::paper_default(near_positions(3)).with_seed(23);
+        scenario.mobility = Some(crate::faults::MobilityModel::new(
+            0.05,
+            cbma_types::geometry::Rect::office(),
+        ));
+        scenario.faults = crate::faults::FaultPlan::none()
+            .with_ack_loss(0.25)
+            .with_dead_tag(1, 3);
+
+        let mut seq = Engine::new(scenario.clone()).unwrap();
+        let sequential = seq.run_rounds(5);
+        let stats = |e: &Engine| {
+            e.tags()
+                .iter()
+                .map(|t| (t.packets_sent(), t.acks_received(), t.position()))
+                .collect::<Vec<_>>()
+        };
+
+        for (scheduler, block_size, width) in [
+            (Scheduler::Inline, 257, 2),
+            (Scheduler::ThreadPerStage, 1024, 5),
+        ] {
+            let mut streaming = Engine::new(scenario.clone()).unwrap();
+            let cfg = StreamingConfig {
+                width,
+                block_size,
+                ring_capacity: 2,
+                scheduler,
+            };
+            let run = streaming.run_streaming(5, &cfg);
+            assert_eq!(run, sequential, "{scheduler:?} block={block_size}");
+            assert_eq!(stats(&streaming), stats(&seq), "{scheduler:?}");
+        }
     }
 
     #[test]
