@@ -1,9 +1,9 @@
-//! CI bench-regression gate for the user-detection hot path.
+//! CI bench-regression gate for the `bench_summary` artifacts.
 //!
-//! Compares a freshly generated `BENCH_user_detect.json` (written by
-//! `--example bench_summary`) against the committed baseline at
-//! `ci/BENCH_user_detect.baseline.json` and exits non-zero when the hot
-//! path regressed by more than the tolerance (default 15 %).
+//! Compares a freshly generated summary (`BENCH_user_detect.json` by
+//! default, or `BENCH_streaming.json` when passed explicitly) against
+//! its committed `ci/*.baseline.json` and exits non-zero when anything
+//! regressed by more than the tolerance (default 15 %).
 //!
 //! CI runners and developer machines differ in absolute speed, so raw
 //! ns/op comparisons across hosts are meaningless. The gate therefore
@@ -14,10 +14,14 @@
 //!    across all cases estimates the machine-speed factor, and a case
 //!    fails only when its own `r` exceeds `median · (1 + tolerance)` —
 //!    i.e. it got slower *relative to everything else in the same run*.
-//! 2. **Same-run speedup ratios.** `fft_speedup_over_direct`,
-//!    `batch_speedup_over_fft` and `multiwindow_speedup_over_batch` are
-//!    ratios of two measurements on the same host, so they transfer
-//!    across machines; each must stay above `baseline · (1 − tolerance)`.
+//! 2. **Headline ratios.** Every `*speedup*`/`*scaling*` key in the
+//!    baseline is a ratio of two measurements on the same host, so it
+//!    transfers across machines and must stay above
+//!    `baseline · (1 − tolerance)` raw. `realtime_*`/`*rtf*` keys are
+//!    air-time over wall-time — absolute speeds — so the candidate is
+//!    first multiplied by the machine-speed factor from (1) before the
+//!    same floor applies (an aggregate-RTF regression therefore fails
+//!    the gate even on a slower host, but a slower host alone does not).
 //!
 //! Usage: `bench_gate [baseline.json] [candidate.json]`; the tolerance
 //! can be overridden with `CBMA_BENCH_GATE_TOLERANCE` (e.g. `0.25`).
@@ -54,7 +58,11 @@ fn parse_summary(text: &str) -> Summary {
         } else if let Some((key, value)) = line.split_once(':') {
             let key = key.trim().trim_matches('"');
             if let Ok(v) = value.trim().parse::<f64>() {
-                if key.contains("speedup") || key.starts_with("realtime") {
+                if key.contains("speedup")
+                    || key.contains("scaling")
+                    || key.contains("rtf")
+                    || key.starts_with("realtime")
+                {
                     out.ratios.insert(key.to_string(), v);
                 }
             }
@@ -144,24 +152,31 @@ fn main() -> ExitCode {
         );
     }
 
-    for key in [
-        "fft_speedup_over_direct",
-        "batch_speedup_over_fft",
-        "multiwindow_speedup_over_batch",
-    ] {
-        let (Some(&base), Some(&cand)) = (baseline.ratios.get(key), candidate.ratios.get(key))
-        else {
-            failures.push(format!("{key}: missing from baseline or candidate"));
+    // Every headline ratio the baseline recorded must still be present
+    // and above its floor. Absolute-speed ratios (real-time factors) are
+    // machine-normalized first; same-run ratios compare raw.
+    for (key, &base) in &baseline.ratios {
+        let Some(&cand) = candidate.ratios.get(key) else {
+            failures.push(format!("{key}: missing from candidate"));
             continue;
         };
+        let absolute_speed = key.starts_with("realtime") || key.contains("rtf");
+        let adjusted = if absolute_speed { cand * speed_factor } else { cand };
         let floor = base * (1.0 - tolerance);
-        let verdict = if cand < floor {
-            failures.push(format!("{key}: {cand:.2}x fell below {floor:.2}x (baseline {base:.2}x)"));
+        let verdict = if adjusted < floor {
+            failures.push(format!(
+                "{key}: {adjusted:.2}x fell below {floor:.2}x (baseline {base:.2}x{})",
+                if absolute_speed {
+                    format!(", raw {cand:.2}x at speed factor {speed_factor:.3}")
+                } else {
+                    String::new()
+                }
+            ));
             "FAIL"
         } else {
             "ok"
         };
-        println!("  {verdict:4} {key:28} {base:>11.2}x -> {cand:>11.2}x");
+        println!("  {verdict:4} {key:36} {base:>11.2}x -> {adjusted:>11.2}x");
     }
 
     if failures.is_empty() {

@@ -3,7 +3,8 @@
 //! ```text
 //! cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]...
 //!              [--seed N] [--workers N] [--fresh] [--list]
-//!              [--live] [--trace-out FILE] [--streaming inline|threaded]
+//!              [--live] [--trace-out FILE]
+//!              [--streaming inline|threaded|worksteal[:N][:pin]]
 //! ```
 //!
 //! Runs the selected campaigns (default: all built-ins) at the selected
@@ -22,6 +23,9 @@
 //! the given stage scheduler — the manifests are byte-identical to the
 //! round-synchronous default (and the trace, when requested, shows the
 //! flowgraph's stage spans instead of the monolithic capture tree).
+//! `worksteal[:N][:pin]` runs every stream's stages over a fixed pool of
+//! N workers (default: one per CPU), optionally pinned round-robin onto
+//! CPUs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,7 +54,7 @@ struct Cli {
 
 const USAGE: &str = "usage: cbma-harness [--tier fast|full] [--out DIR] [--campaign NAME]... \
 [--seed N] [--workers N] [--fresh] [--list] [--live] [--trace-out FILE] \
-[--streaming inline|threaded]";
+[--streaming inline|threaded|worksteal[:N][:pin]]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -98,11 +102,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--streaming" => {
                 let v = value("--streaming")?;
-                cli.streaming = Some(match v.as_str() {
-                    "inline" => Scheduler::Inline,
-                    "threaded" => Scheduler::ThreadPerStage,
-                    _ => return Err(format!("unknown streaming scheduler {v:?}\n{USAGE}")),
-                });
+                cli.streaming = Some(Scheduler::parse(&v).ok_or_else(|| {
+                    format!(
+                        "unknown streaming scheduler {v:?} (valid: {})\n{USAGE}",
+                        Scheduler::VALID_NAMES
+                    )
+                })?);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
@@ -388,6 +393,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_worksteal_streaming_schedulers() {
+        for (flag, workers, pin) in [
+            ("worksteal", 0, false),
+            ("worksteal:4", 4, false),
+            ("worksteal:pin", 0, true),
+            ("worksteal:4:pin", 4, true),
+        ] {
+            let cli = parse_cli(&args(&["--streaming", flag])).unwrap();
+            assert_eq!(
+                cli.streaming,
+                Some(Scheduler::WorkStealing { workers, pin }),
+                "{flag}"
+            );
+            // The CLI name round-trips through Scheduler::name.
+            assert_eq!(cli.streaming.unwrap().name(), flag);
+        }
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_bad_values() {
         assert!(parse_cli(&args(&["--bogus"])).is_err());
         assert!(parse_cli(&args(&["--tier", "paper"])).is_err());
@@ -395,5 +419,14 @@ mod tests {
         assert!(parse_cli(&args(&["--campaign"])).is_err());
         assert!(parse_cli(&args(&["--streaming"])).is_err());
         assert!(parse_cli(&args(&["--streaming", "coalesced"])).is_err());
+        assert!(parse_cli(&args(&["--streaming", "worksteal:x"])).is_err());
+        // Unknown schedulers name the valid set.
+        let err = parse_cli(&args(&["--streaming", "coalesced"]))
+            .err()
+            .expect("unknown scheduler must be rejected");
+        assert!(
+            err.contains(Scheduler::VALID_NAMES),
+            "error should list valid schedulers: {err}"
+        );
     }
 }

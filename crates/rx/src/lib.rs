@@ -43,8 +43,8 @@ pub use downlink::AckWire;
 pub use frame_sync::{FrameSync, SyncStream};
 pub use receiver::{Receiver, ReceiverConfig, RxReport, RxScratch, RxTelemetry};
 pub use runtime::{
-    CaptureSource, FlowgraphError, RunOutput, RunStats, RuntimeConfig, RxFlowgraph, SampleSource,
-    Scheduler, SourceBlock, StageKind,
+    CaptureSource, FlowgraphError, MultiStreamFlowgraph, RunOutput, RunStats, RuntimeConfig,
+    RxFlowgraph, SampleSource, Scheduler, SourceBlock, StageKind,
 };
 pub use stream_pool::{InOrderEmitter, StreamPool, StreamPoolConfig, StreamResult};
 pub use user_detect::{

@@ -19,6 +19,10 @@
 //!   the rings; ring capacity bounds in-flight memory (backpressure) and
 //!   a panicking stage poisons the graph so [`RxFlowgraph::run`] returns
 //!   a clean error instead of hanging.
+//! * [`Scheduler::WorkStealing`] multiplexes *all* streams' stage
+//!   activations over a fixed worker pool (local deques, LIFO pop, FIFO
+//!   steal, park/unpark idle protocol, optional CPU pinning) — the
+//!   serve-many-streams scheduler; see [`worksteal`].
 //!
 //! **Decision identity.** Both schedulers, at every block size, produce
 //! reports *decision-identical* to [`Receiver::receive`] — same detected
@@ -37,11 +41,14 @@
 //! ([`crate::stream_pool::InOrderEmitter`]) the worker pool uses: per
 //! stream, in capture order, regardless of internal pipelining.
 
+pub mod affinity;
 pub mod ring;
 pub mod source;
+pub mod worksteal;
 
-pub use ring::{ring, Consumer, DepthProbe, Producer, RingError, TryPop, TryPush};
+pub use ring::{ring, Consumer, DepthProbe, Producer, RingError, RingWaker, TryPop, TryPush};
 pub use source::{CaptureSource, SampleSource, SourceBlock};
+pub use worksteal::MultiStreamFlowgraph;
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -66,14 +73,82 @@ pub enum Scheduler {
     /// One thread per stage (plus the source), connected by bounded
     /// rings; captures pipeline through the stages.
     ThreadPerStage,
+    /// A fixed pool of `workers` threads running every stream's stage
+    /// activations as stealable tasks (see [`worksteal`]). `workers = 0`
+    /// means one per available CPU; `pin` round-robins workers onto
+    /// CPUs via [`affinity`].
+    WorkStealing {
+        /// Pool size (0 = auto: one worker per available CPU).
+        workers: usize,
+        /// Round-robin CPU affinity for the workers.
+        pin: bool,
+    },
 }
 
 impl Scheduler {
-    /// A short stable name (for CLI flags and test labels).
+    /// The scheduler names [`Scheduler::parse`] accepts, for CLI errors.
+    pub const VALID_NAMES: &'static str = "inline, threaded, worksteal[:N][:pin]";
+
+    /// A short stable kind name (for test labels and span args).
     pub fn as_str(&self) -> &'static str {
         match self {
             Scheduler::Inline => "inline",
             Scheduler::ThreadPerStage => "thread-per-stage",
+            Scheduler::WorkStealing { .. } => "worksteal",
+        }
+    }
+
+    /// The full round-trippable CLI name (`parse(name()) == self`):
+    /// `inline`, `threaded`, `worksteal`, `worksteal:4`, `worksteal:pin`,
+    /// `worksteal:4:pin`.
+    pub fn name(&self) -> String {
+        match self {
+            Scheduler::Inline => "inline".into(),
+            Scheduler::ThreadPerStage => "threaded".into(),
+            Scheduler::WorkStealing { workers, pin } => {
+                let mut name = String::from("worksteal");
+                if *workers > 0 {
+                    name.push_str(&format!(":{workers}"));
+                }
+                if *pin {
+                    name.push_str(":pin");
+                }
+                name
+            }
+        }
+    }
+
+    /// Parses a CLI scheduler name; `None` for anything not listed in
+    /// [`Scheduler::VALID_NAMES`].
+    pub fn parse(name: &str) -> Option<Scheduler> {
+        match name {
+            "inline" => return Some(Scheduler::Inline),
+            "threaded" | "thread-per-stage" => return Some(Scheduler::ThreadPerStage),
+            _ => {}
+        }
+        let rest = name.strip_prefix("worksteal")?;
+        let (workers, pin) = match rest {
+            "" => (0, false),
+            ":pin" => (0, true),
+            _ => {
+                let spec = rest.strip_prefix(':')?;
+                let (count, pin) = match spec.strip_suffix(":pin") {
+                    Some(count) => (count, true),
+                    None => (spec, false),
+                };
+                (count.parse::<usize>().ok()?, pin)
+            }
+        };
+        Some(Scheduler::WorkStealing { workers, pin })
+    }
+
+    /// Resolves a `workers` request: 0 (auto) becomes one worker per
+    /// available CPU, anything else is clamped to ≥ 1.
+    pub fn effective_workers(workers: usize) -> usize {
+        if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
         }
     }
 }
@@ -169,8 +244,21 @@ pub struct RunStats {
     pub captures: u64,
     /// High-water depth per ring, in pipeline order (source→sync,
     /// sync→detect, detect→decode, decode→sic, sic→sink). Empty on the
-    /// inline scheduler, which has no rings.
+    /// inline scheduler, which has no rings. On the work-stealing
+    /// scheduler each entry is the max across streams at that position.
     pub ring_max_depth: Vec<usize>,
+    /// Work-stealing pool: tasks taken from another queue (a victim's
+    /// deque or the injector). Zero on the other schedulers.
+    pub steals: u64,
+    /// Work-stealing pool: tasks popped from the worker's own deque.
+    pub local_hits: u64,
+    /// Work-stealing pool: times a worker parked for lack of work.
+    pub parks: u64,
+    /// Work-stealing pool: total nanoseconds workers spent parked.
+    pub park_ns: u64,
+    /// Work-stealing pool: total nanoseconds workers spent running
+    /// stage bodies (utilization = busy_ns / (workers · wall time)).
+    pub busy_ns: u64,
 }
 
 /// Results plus stats from one [`RxFlowgraph::run`].
@@ -191,6 +279,10 @@ struct RuntimeMetrics {
     blocks: Counter,
     captures: Counter,
     ring_depth: Gauge,
+    steal_count: Counter,
+    local_hit: Counter,
+    worker_park_ns: Histogram,
+    pool_utilization: Gauge,
 }
 
 impl RuntimeMetrics {
@@ -201,6 +293,10 @@ impl RuntimeMetrics {
             blocks: registry.counter("cbma.rx.runtime.blocks"),
             captures: registry.counter("cbma.rx.runtime.captures"),
             ring_depth: registry.gauge("cbma.rx.runtime.ring_depth"),
+            steal_count: registry.counter("cbma.rx.runtime.worker.steal_count"),
+            local_hit: registry.counter("cbma.rx.runtime.worker.local_hit"),
+            worker_park_ns: registry.histogram("cbma.rx.runtime.worker.park_ns"),
+            pool_utilization: registry.gauge("cbma.rx.runtime.pool_utilization"),
         }
     }
 }
@@ -285,10 +381,136 @@ struct InflightSync {
     sync_ns: u64,
 }
 
+impl InflightSync {
+    /// Opens frame-sync accumulation for one capture.
+    fn begin(receiver: &Receiver) -> InflightSync {
+        InflightSync {
+            stream: receiver.frame_sync().stream(),
+            samples: Vec::new(),
+            sync_ns: 0,
+        }
+    }
+
+    /// Feeds one block through the streaming comparator while
+    /// accumulating the capture.
+    fn absorb(&mut self, samples: &[Iq]) {
+        let start = Instant::now();
+        self.stream.push_block(samples);
+        self.samples.extend_from_slice(samples);
+        self.sync_ns += start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    }
+
+    /// Closes the capture: the global edge decision and window math,
+    /// exactly as the monolithic path computes them.
+    fn complete(self, receiver: &Receiver, stream: usize, seq: u64) -> SyncedCapture {
+        let start = Instant::now();
+        let edge = self.stream.finish(receiver.frame_sync());
+        let outcome = receiver.outcome_for_edge(edge, self.samples.len());
+        let telemetry = RxTelemetry {
+            frame_sync_ns: self.sync_ns + start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            ..RxTelemetry::default()
+        };
+        SyncedCapture {
+            stream,
+            seq,
+            samples: self.samples,
+            outcome,
+            telemetry,
+        }
+    }
+}
+
+/// Stage 1's body for a single-stream chain (the work-stealing layout,
+/// where blocks of one stream arrive strictly in order so one in-flight
+/// capture suffices): absorbs `block`, returning the synced capture once
+/// its last block lands.
+fn sync_block(
+    receiver: &Receiver,
+    carry: &mut Option<InflightSync>,
+    block: SourceBlock,
+    fault: &FaultPlan,
+) -> Option<SyncedCapture> {
+    let inflight = carry.get_or_insert_with(|| InflightSync::begin(receiver));
+    inflight.absorb(&block.samples);
+    if !block.last {
+        return None;
+    }
+    fault.trip(StageKind::Sync, block.seq);
+    let inflight = carry.take().expect("just inserted");
+    Some(inflight.complete(receiver, block.stream, block.seq))
+}
+
+/// Stage 2's body: user detection over the synced search window, fed to
+/// the overlap-save engine block by block.
+fn detect_capture(
+    receiver: &mut Receiver,
+    block_size: usize,
+    mut cap: SyncedCapture,
+    fault: &FaultPlan,
+) -> DetectedCapture {
+    fault.trip(StageKind::Detect, cap.seq);
+    let mut candidates = Vec::new();
+    if let SyncOutcome::Window(start, end) = cap.outcome {
+        receiver.detect_window_streamed(
+            &cap.samples,
+            start,
+            end,
+            block_size,
+            &mut cap.telemetry,
+            None,
+        );
+        candidates = std::mem::take(receiver.candidates_mut());
+    }
+    DetectedCapture {
+        stream: cap.stream,
+        seq: cap.seq,
+        samples: cap.samples,
+        outcome: cap.outcome,
+        telemetry: cap.telemetry,
+        candidates,
+    }
+}
+
+/// Stage 3's body: candidate decode, global alias resolution and the
+/// probe fallback — the monolithic pipeline's decode phases, unchanged.
+fn decode_capture(
+    receiver: &mut Receiver,
+    cap: DetectedCapture,
+    fault: &FaultPlan,
+) -> DecodedCapture {
+    fault.trip(StageKind::Decode, cap.seq);
+    if matches!(cap.outcome, SyncOutcome::Window(..)) {
+        receiver.stage_candidates(&cap.candidates);
+    }
+    let report = receiver.finish_outcome(&cap.samples, cap.outcome, cap.telemetry, None);
+    DecodedCapture {
+        stream: cap.stream,
+        seq: cap.seq,
+        samples: cap.samples,
+        report,
+    }
+}
+
+/// Stage 4's body: successive interference cancellation. Runs on *every*
+/// report (like the monolithic path — `apply_sic` itself is a no-op when
+/// SIC is disabled), so telemetry like `sic_iterations` matches exactly.
+fn sic_capture(receiver: &mut Receiver, mut cap: DecodedCapture, fault: &FaultPlan) -> StreamResult {
+    fault.trip(StageKind::Sic, cap.seq);
+    let trace: TraceCtx = None;
+    receiver.apply_sic(&cap.samples, &mut cap.report, trace);
+    StreamResult {
+        stream: cap.stream,
+        seq: cap.seq,
+        report: cap.report,
+    }
+}
+
 /// Stage 1: incremental frame synchronization. The only stage that works
 /// per *block*; it accumulates the capture while running the per-sample
 /// energy comparator and prefix sums, and decides (globally, exactly as
 /// the monolithic path does) when the capture's last block arrives.
+/// Keyed by `(stream, seq)` because blocks of different streams may
+/// interleave through the single pipeline.
 struct SyncStage {
     receiver: Receiver,
     inflight: HashMap<(usize, u64), InflightSync>,
@@ -297,112 +519,51 @@ struct SyncStage {
 impl SyncStage {
     fn on_block(&mut self, block: SourceBlock, fault: &FaultPlan) -> Option<SyncedCapture> {
         let key = (block.stream, block.seq);
-        let entry = self.inflight.entry(key).or_insert_with(|| InflightSync {
-            stream: self.receiver.frame_sync().stream(),
-            samples: Vec::new(),
-            sync_ns: 0,
-        });
-        let start = Instant::now();
-        entry.stream.push_block(&block.samples);
-        entry.samples.extend_from_slice(&block.samples);
-        entry.sync_ns += start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let entry = self
+            .inflight
+            .entry(key)
+            .or_insert_with(|| InflightSync::begin(&self.receiver));
+        entry.absorb(&block.samples);
         if !block.last {
             return None;
         }
         fault.trip(StageKind::Sync, block.seq);
         let inflight = self.inflight.remove(&key).expect("just inserted");
-        let start = Instant::now();
-        let edge = inflight.stream.finish(self.receiver.frame_sync());
-        let outcome = self.receiver.outcome_for_edge(edge, inflight.samples.len());
-        let telemetry = RxTelemetry {
-            frame_sync_ns: inflight.sync_ns
-                + start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-            ..RxTelemetry::default()
-        };
-        Some(SyncedCapture {
-            stream: block.stream,
-            seq: block.seq,
-            samples: inflight.samples,
-            outcome,
-            telemetry,
-        })
+        Some(inflight.complete(&self.receiver, block.stream, block.seq))
     }
 }
 
-/// Stage 2: user detection over the synced search window, fed to the
-/// overlap-save engine block by block.
+/// Stage 2: user detection (see [`detect_capture`]).
 struct DetectStage {
     receiver: Receiver,
     block_size: usize,
 }
 
 impl DetectStage {
-    fn on_capture(&mut self, mut cap: SyncedCapture, fault: &FaultPlan) -> DetectedCapture {
-        fault.trip(StageKind::Detect, cap.seq);
-        let mut candidates = Vec::new();
-        if let SyncOutcome::Window(start, end) = cap.outcome {
-            self.receiver.detect_window_streamed(
-                &cap.samples,
-                start,
-                end,
-                self.block_size,
-                &mut cap.telemetry,
-                None,
-            );
-            candidates = std::mem::take(self.receiver.candidates_mut());
-        }
-        DetectedCapture {
-            stream: cap.stream,
-            seq: cap.seq,
-            samples: cap.samples,
-            outcome: cap.outcome,
-            telemetry: cap.telemetry,
-            candidates,
-        }
+    fn on_capture(&mut self, cap: SyncedCapture, fault: &FaultPlan) -> DetectedCapture {
+        detect_capture(&mut self.receiver, self.block_size, cap, fault)
     }
 }
 
-/// Stage 3: candidate decode, global alias resolution and the probe
-/// fallback — the monolithic pipeline's decode phases, unchanged.
+/// Stage 3: decode (see [`decode_capture`]).
 struct DecodeStage {
     receiver: Receiver,
 }
 
 impl DecodeStage {
     fn on_capture(&mut self, cap: DetectedCapture, fault: &FaultPlan) -> DecodedCapture {
-        fault.trip(StageKind::Decode, cap.seq);
-        if matches!(cap.outcome, SyncOutcome::Window(..)) {
-            self.receiver.stage_candidates(&cap.candidates);
-        }
-        let report = self
-            .receiver
-            .finish_outcome(&cap.samples, cap.outcome, cap.telemetry, None);
-        DecodedCapture {
-            stream: cap.stream,
-            seq: cap.seq,
-            samples: cap.samples,
-            report,
-        }
+        decode_capture(&mut self.receiver, cap, fault)
     }
 }
 
-/// Stage 4: successive interference cancellation. Runs on *every* report
-/// (like the monolithic path — `apply_sic` itself is a no-op when SIC is
-/// disabled), so telemetry like `sic_iterations` matches exactly.
+/// Stage 4: SIC (see [`sic_capture`]).
 struct SicStage {
     receiver: Receiver,
 }
 
 impl SicStage {
-    fn on_capture(&mut self, mut cap: DecodedCapture, fault: &FaultPlan) -> StreamResult {
-        fault.trip(StageKind::Sic, cap.seq);
-        let trace: TraceCtx = None;
-        self.receiver.apply_sic(&cap.samples, &mut cap.report, trace);
-        StreamResult {
-            stream: cap.stream,
-            seq: cap.seq,
-            report: cap.report,
-        }
+    fn on_capture(&mut self, cap: DecodedCapture, fault: &FaultPlan) -> StreamResult {
+        sic_capture(&mut self.receiver, cap, fault)
     }
 }
 
@@ -435,6 +596,15 @@ pub struct RxFlowgraph {
     detect: DetectStage,
     decode: DecodeStage,
     sic: SicStage,
+    /// Worker-local receivers for the work-stealing pool, grown on
+    /// demand and reused across runs. Each worker thread borrows one:
+    /// the stage seams are per-capture stateless (scratch arenas are
+    /// cleared per use), so which receiver runs a capture's stage never
+    /// changes a decision.
+    pool_receivers: Vec<Receiver>,
+    codes: Vec<PnCode>,
+    phy: PhyProfile,
+    config: ReceiverConfig,
     runtime: RuntimeConfig,
     tracer: Option<Tracer>,
     metrics: Option<RuntimeMetrics>,
@@ -469,8 +639,12 @@ impl RxFlowgraph {
                 receiver: Receiver::new(codes.clone(), phy, config),
             },
             sic: SicStage {
-                receiver: Receiver::new(codes, phy, config),
+                receiver: Receiver::new(codes.clone(), phy, config),
             },
+            pool_receivers: Vec::new(),
+            codes,
+            phy,
+            config,
             runtime,
             tracer: None,
             metrics: None,
@@ -532,9 +706,15 @@ impl RxFlowgraph {
         source: S,
         sink: impl FnMut(StreamResult),
     ) -> Result<RunStats, FlowgraphError> {
+        // Faults are one-shot: taking the plan here means a run that
+        // failed (by injection) leaves the flowgraph reusable.
+        let fault = std::mem::take(&mut self.fault);
         match self.runtime.scheduler {
-            Scheduler::Inline => self.run_inline(source, sink),
-            Scheduler::ThreadPerStage => self.run_threaded(source, sink),
+            Scheduler::Inline => self.run_inline(source, sink, fault),
+            Scheduler::ThreadPerStage => self.run_threaded(source, sink, fault),
+            Scheduler::WorkStealing { workers, pin } => {
+                self.run_worksteal(source, sink, fault, workers, pin)
+            }
         }
     }
 
@@ -569,6 +749,8 @@ impl RxFlowgraph {
             for &depth in &stats.ring_max_depth {
                 metrics.ring_depth.max(depth as f64);
             }
+            metrics.steal_count.add(stats.steals);
+            metrics.local_hit.add(stats.local_hits);
         }
     }
 
@@ -576,9 +758,9 @@ impl RxFlowgraph {
         &mut self,
         mut source: S,
         mut sink: impl FnMut(StreamResult),
+        fault: FaultPlan,
     ) -> Result<RunStats, FlowgraphError> {
         let (_root, obs, _guards) = self.stage_obs();
-        let fault = self.fault;
         let mut stats = RunStats::default();
         let mut emitter = InOrderEmitter::new();
         while let Some(block) = source.next_block() {
@@ -600,14 +782,47 @@ impl RxFlowgraph {
         Ok(stats)
     }
 
+    fn run_worksteal<S: SampleSource + Send>(
+        &mut self,
+        source: S,
+        sink: impl FnMut(StreamResult),
+        fault: FaultPlan,
+        workers: usize,
+        pin: bool,
+    ) -> Result<RunStats, FlowgraphError> {
+        let workers = Scheduler::effective_workers(workers);
+        while self.pool_receivers.len() < workers {
+            self.pool_receivers
+                .push(Receiver::new(self.codes.clone(), self.phy, self.config));
+        }
+        let (stats, failure) = worksteal::run(
+            worksteal::PoolParams {
+                receivers: &mut self.pool_receivers[..workers],
+                block_size: self.runtime.block_size.max(1),
+                ring_capacity: self.runtime.ring_capacity.max(1),
+                pin,
+                tracer: self.tracer.as_ref(),
+                metrics: self.metrics.as_ref(),
+                fault,
+            },
+            source,
+            sink,
+        );
+        self.record_stats(&stats);
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(stats),
+        }
+    }
+
     fn run_threaded<S: SampleSource + Send>(
         &mut self,
         mut source: S,
         mut sink: impl FnMut(StreamResult),
+        fault: FaultPlan,
     ) -> Result<RunStats, FlowgraphError> {
         let cap = self.runtime.ring_capacity.max(1);
         let (_root, obs, _guards) = self.stage_obs();
-        let fault = self.fault;
 
         let (blk_tx, blk_rx) = ring::<SourceBlock>(cap);
         let (syn_tx, syn_rx) = ring::<SyncedCapture>(cap);
@@ -825,8 +1040,58 @@ mod tests {
     }
 
     #[test]
-    fn silence_flows_through_both_schedulers() {
-        for scheduler in [Scheduler::Inline, Scheduler::ThreadPerStage] {
+    fn scheduler_names_round_trip() {
+        let all = [
+            Scheduler::Inline,
+            Scheduler::ThreadPerStage,
+            Scheduler::WorkStealing {
+                workers: 0,
+                pin: false,
+            },
+            Scheduler::WorkStealing {
+                workers: 0,
+                pin: true,
+            },
+            Scheduler::WorkStealing {
+                workers: 4,
+                pin: false,
+            },
+            Scheduler::WorkStealing {
+                workers: 16,
+                pin: true,
+            },
+        ];
+        for s in all {
+            assert_eq!(Scheduler::parse(&s.name()), Some(s), "{}", s.name());
+        }
+        // The legacy long form still parses.
+        assert_eq!(
+            Scheduler::parse("thread-per-stage"),
+            Some(Scheduler::ThreadPerStage)
+        );
+        for bad in [
+            "",
+            "coalesced",
+            "worksteal:",
+            "worksteal:x",
+            "worksteal:4:pin:extra",
+            "worksteal::pin",
+            "worksteal:pin:4",
+        ] {
+            assert_eq!(Scheduler::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn silence_flows_through_every_scheduler() {
+        for scheduler in [
+            Scheduler::Inline,
+            Scheduler::ThreadPerStage,
+            Scheduler::WorkStealing {
+                workers: 2,
+                pin: false,
+            },
+        ] {
             let mut flow = flowgraph(scheduler);
             let source =
                 CaptureSource::single_stream(256, vec![vec![Iq::ZERO; 1500], Vec::new()]);

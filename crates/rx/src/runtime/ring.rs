@@ -9,6 +9,22 @@
 //! in-flight memory is bounded by the ring capacities no matter how slow
 //! the sink is.
 //!
+//! Notification is edge-triggered: the condvars (and the optional
+//! [`RingWaker`] hooks) fire only on the empty→nonempty and
+//! full→nonfull transitions, not on every push/pop. For an SPSC ring
+//! this loses no wakeups — the consumer only ever blocks when it
+//! observed `len == 0` (so the 0→1 push is the one that must signal)
+//! and the producer only when it observed `len == capacity` — while a
+//! deep ring under steady flow issues no notifications at all.
+//! [`DepthProbe::notify_count`] counts the signals actually issued.
+//!
+//! The waker hooks are how the work-stealing scheduler turns ring
+//! transitions into task readiness without parking a worker on a
+//! condvar: empty→nonempty (and finish/poison) invokes the consumer
+//! side's `data` waker, full→nonfull (and disconnect/poison) the
+//! producer side's `space` waker. Wakers run after the ring lock is
+//! released, so they may take their own locks freely.
+//!
 //! Shutdown and failure are first-class:
 //!
 //! * dropping (or [`Producer::finish`]ing) the producer ends the stream —
@@ -26,6 +42,10 @@
 //! against a `VecDeque` oracle and stress-tests the two-thread path.
 
 use std::sync::{Arc, Condvar, Mutex};
+
+/// A callback fired (outside the ring lock) when a ring transition makes
+/// new progress possible for one endpoint.
+pub type RingWaker = Arc<dyn Fn() + Send + Sync>;
 
 /// Why a ring operation could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,12 +103,47 @@ struct RingState<T> {
     poisoned: Option<String>,
     /// High-water mark of `len`, for backpressure diagnostics.
     max_depth: usize,
+    /// Condvar notifications issued over the ring's lifetime.
+    notifies: u64,
+    /// Fired when the consumer side gains something to observe
+    /// (empty→nonempty, finish, poison).
+    data_waker: Option<RingWaker>,
+    /// Fired when the producer side gains something to observe
+    /// (full→nonfull, disconnect, poison).
+    space_waker: Option<RingWaker>,
 }
 
 struct Shared<T> {
     state: Mutex<RingState<T>>,
     not_full: Condvar,
     not_empty: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Signals the consumer side after a state change that created data
+    /// (or ended the stream). Call with the lock held; the returned
+    /// waker must be invoked after the lock is dropped.
+    fn notify_data(&self, state: &mut RingState<T>) -> Option<RingWaker> {
+        state.notifies += 1;
+        self.not_empty.notify_one();
+        state.data_waker.clone()
+    }
+
+    /// Signals the producer side after a state change that created
+    /// space (or closed the ring). Same locking discipline as
+    /// [`Shared::notify_data`].
+    fn notify_space(&self, state: &mut RingState<T>) -> Option<RingWaker> {
+        state.notifies += 1;
+        self.not_full.notify_one();
+        state.space_waker.clone()
+    }
+}
+
+/// Invokes a deferred waker (outside the ring lock).
+fn fire(waker: Option<RingWaker>) {
+    if let Some(waker) = waker {
+        waker();
+    }
 }
 
 /// Creates a bounded SPSC ring holding at most `capacity` items
@@ -105,6 +160,9 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
             consumer_gone: false,
             poisoned: None,
             max_depth: 0,
+            notifies: 0,
+            data_waker: None,
+            space_waker: None,
         }),
         not_full: Condvar::new(),
         not_empty: Condvar::new(),
@@ -127,9 +185,9 @@ pub struct Consumer<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// A passive observer of one ring's depth statistics; keeps the state
-/// alive after both endpoints drop so post-run diagnostics can read the
-/// high-water mark.
+/// A passive observer of one ring's statistics; keeps the state alive
+/// after both endpoints drop so post-run diagnostics can read the
+/// high-water mark and the notification count.
 pub struct DepthProbe<T> {
     shared: Arc<Shared<T>>,
 }
@@ -138,6 +196,13 @@ impl<T> DepthProbe<T> {
     /// The deepest the ring ever got.
     pub fn max_depth(&self) -> usize {
         self.shared.state.lock().expect("ring lock").max_depth
+    }
+
+    /// How many condvar notifications the ring issued. With
+    /// edge-triggered signalling this counts state *transitions*
+    /// (plus shutdown broadcasts), not operations.
+    pub fn notify_count(&self) -> u64 {
+        self.shared.state.lock().expect("ring lock").notifies
     }
 }
 
@@ -162,11 +227,17 @@ impl<T> Producer<T> {
         let cap = state.slots.len();
         let tail = (state.head + state.len) % cap;
         debug_assert!(state.slots[tail].is_none(), "occupied tail slot");
+        let was_empty = state.len == 0;
         state.slots[tail] = Some(item);
         state.len += 1;
         state.max_depth = state.max_depth.max(state.len);
+        let waker = if was_empty {
+            self.shared.notify_data(&mut state)
+        } else {
+            None
+        };
         drop(state);
-        self.shared.not_empty.notify_one();
+        fire(waker);
         Ok(())
     }
 
@@ -184,21 +255,42 @@ impl<T> Producer<T> {
         }
         let cap = state.slots.len();
         let tail = (state.head + state.len) % cap;
+        let was_empty = state.len == 0;
         state.slots[tail] = Some(item);
         state.len += 1;
         state.max_depth = state.max_depth.max(state.len);
+        let waker = if was_empty {
+            self.shared.notify_data(&mut state)
+        } else {
+            None
+        };
         drop(state);
-        self.shared.not_empty.notify_one();
+        fire(waker);
         TryPush::Pushed
+    }
+
+    /// Whether a `try_push` right now would be accepted for capacity.
+    /// With a single producer the answer can only turn *more* true until
+    /// that producer pushes, so a stage may check space before popping
+    /// the input it would process.
+    pub fn has_capacity(&self) -> bool {
+        let state = self.shared.state.lock().expect("ring lock");
+        state.len < state.slots.len()
     }
 
     /// Ends the stream: the consumer drains the buffered items and then
     /// sees `Ok(None)`. Dropping the producer does the same.
     pub fn finish(&self) {
         let mut state = self.shared.state.lock().expect("ring lock");
+        if state.producer_done {
+            return;
+        }
         state.producer_done = true;
-        drop(state);
+        state.notifies += 1;
         self.shared.not_empty.notify_all();
+        let waker = state.data_waker.clone();
+        drop(state);
+        fire(waker);
     }
 
     /// Marks the ring failed: both endpoints see
@@ -209,9 +301,22 @@ impl<T> Producer<T> {
         if state.poisoned.is_none() {
             state.poisoned = Some(message.into());
         }
-        drop(state);
+        state.notifies += 1;
         self.shared.not_full.notify_all();
         self.shared.not_empty.notify_all();
+        let data = state.data_waker.clone();
+        let space = state.space_waker.clone();
+        drop(state);
+        fire(data);
+        fire(space);
+    }
+
+    /// Installs the waker fired when the ring gains space (or closes).
+    /// The producer side owns this hook: it is the endpoint that waits
+    /// for space.
+    pub fn set_space_waker(&self, waker: RingWaker) {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        state.space_waker = Some(waker);
     }
 
     /// A depth observer for this ring.
@@ -246,12 +351,18 @@ impl<T> Consumer<T> {
             }
             state = self.shared.not_empty.wait(state).expect("ring lock");
         }
+        let was_full = state.len == state.slots.len();
         let head = state.head;
         let item = state.slots[head].take().expect("len > 0");
         state.head = (head + 1) % state.slots.len();
         state.len -= 1;
+        let waker = if was_full {
+            self.shared.notify_space(&mut state)
+        } else {
+            None
+        };
         drop(state);
-        self.shared.not_full.notify_one();
+        fire(waker);
         Ok(Some(item))
     }
 
@@ -268,18 +379,32 @@ impl<T> Consumer<T> {
                 TryPop::Empty
             });
         }
+        let was_full = state.len == state.slots.len();
         let head = state.head;
         let item = state.slots[head].take().expect("len > 0");
         state.head = (head + 1) % state.slots.len();
         state.len -= 1;
+        let waker = if was_full {
+            self.shared.notify_space(&mut state)
+        } else {
+            None
+        };
         drop(state);
-        self.shared.not_full.notify_one();
+        fire(waker);
         Ok(TryPop::Item(item))
     }
 
     /// Items currently queued.
     pub fn depth(&self) -> usize {
         self.shared.state.lock().expect("ring lock").len
+    }
+
+    /// Installs the waker fired when the ring gains data (or the
+    /// producer finishes / poisons). The consumer side owns this hook:
+    /// it is the endpoint that waits for data.
+    pub fn set_data_waker(&self, waker: RingWaker) {
+        let mut state = self.shared.state.lock().expect("ring lock");
+        state.data_waker = Some(waker);
     }
 
     /// A depth observer for this ring.
@@ -294,8 +419,11 @@ impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
         let mut state = self.shared.state.lock().expect("ring lock");
         state.consumer_gone = true;
-        drop(state);
+        state.notifies += 1;
         self.shared.not_full.notify_all();
+        let waker = state.space_waker.clone();
+        drop(state);
+        fire(waker);
     }
 }
 
@@ -375,5 +503,52 @@ mod tests {
         drop(rx);
         // The probe outlives both endpoints.
         assert_eq!(probe.max_depth(), 3);
+    }
+
+    #[test]
+    fn has_capacity_tracks_fullness() {
+        let (tx, rx) = ring::<u8>(2);
+        assert!(tx.has_capacity());
+        tx.push(1).unwrap();
+        assert!(tx.has_capacity());
+        tx.push(2).unwrap();
+        assert!(!tx.has_capacity());
+        rx.pop().unwrap();
+        assert!(tx.has_capacity());
+    }
+
+    #[test]
+    fn wakers_fire_on_transitions_only() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let (tx, rx) = ring::<u8>(3);
+        let data = Arc::new(AtomicUsize::new(0));
+        let space = Arc::new(AtomicUsize::new(0));
+        {
+            let data = Arc::clone(&data);
+            rx.set_data_waker(Arc::new(move || {
+                data.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        {
+            let space = Arc::clone(&space);
+            tx.set_space_waker(Arc::new(move || {
+                space.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        tx.push(1).unwrap(); // 0→1: data fires
+        tx.push(2).unwrap(); // 1→2: silent
+        tx.push(3).unwrap(); // 2→3 (full): silent
+        assert_eq!(data.load(Ordering::SeqCst), 1);
+        rx.pop().unwrap(); // full→nonfull: space fires
+        rx.pop().unwrap(); // silent
+        assert_eq!(space.load(Ordering::SeqCst), 1);
+        rx.pop().unwrap(); // drains to empty: silent
+        tx.push(4).unwrap(); // 0→1 again: data fires
+        assert_eq!(data.load(Ordering::SeqCst), 2);
+        tx.finish(); // stream end: data fires so the consumer task runs
+        assert_eq!(data.load(Ordering::SeqCst), 3);
+        drop(rx); // disconnect: space fires
+        assert_eq!(space.load(Ordering::SeqCst), 2);
     }
 }

@@ -14,6 +14,14 @@
 //! Results are emitted per stream in submission order regardless of
 //! which worker finished first: a small reorder buffer holds
 //! out-of-order completions until their predecessors arrive.
+//!
+//! The pool runs each capture as one monolithic `receive` call. When
+//! streams should instead flow through the four *pipelined* stages —
+//! so a slow SIC pass on one stream overlaps sync/detect on another —
+//! use [`crate::runtime::MultiStreamFlowgraph`], which generalizes this
+//! pool onto the work-stealing scheduler
+//! ([`crate::runtime::Scheduler::WorkStealing`]) with the same
+//! per-stream in-order emission contract.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;

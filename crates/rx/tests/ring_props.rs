@@ -129,6 +129,54 @@ fn capacity_one_ping_pong_stays_in_order() {
 }
 
 #[test]
+fn notifications_count_transitions_not_operations() {
+    // Edge-triggered signalling: a deep ring under a lockstep
+    // single-threaded flow never has a waiter and never crosses
+    // empty→nonempty with anyone watching more than once per refill, so
+    // the notification count must track *transitions*, far below the
+    // 2·N operation count a notify-per-op scheme would issue.
+    let n = 1_000u32;
+    let (tx, rx) = ring::<u32>(8);
+    let probe = rx.probe();
+
+    // Lockstep push/pop: every push is the empty→nonempty edge (1 notify
+    // each), every pop leaves the ring empty without ever having been
+    // full (0 notifies).
+    for i in 0..n {
+        assert!(matches!(tx.try_push(i), TryPush::Pushed));
+        assert!(matches!(rx.try_pop(), Ok(TryPop::Item(_))));
+    }
+    let lockstep = probe.notify_count();
+    assert!(
+        lockstep <= u64::from(n) + 2,
+        "lockstep flow issued {lockstep} notifies for {n} ops — \
+         per-operation signalling crept back in"
+    );
+
+    // Batched fill/drain: 8 pushes then 8 pops is ONE data edge (the
+    // first push) and ZERO space edges (the ring never blocks a
+    // producer at capacity... it does hit capacity, so full→nonfull
+    // fires once per cycle). Either way: O(cycles), not O(ops).
+    let (tx, rx) = ring::<u32>(8);
+    let probe = rx.probe();
+    let cycles = 100u64;
+    for _ in 0..cycles {
+        for i in 0..8 {
+            assert!(matches!(tx.try_push(i), TryPush::Pushed));
+        }
+        for _ in 0..8 {
+            assert!(matches!(rx.try_pop(), Ok(TryPop::Item(_))));
+        }
+    }
+    let batched = probe.notify_count();
+    assert!(
+        batched <= 2 * cycles + 2,
+        "batched flow issued {batched} notifies for {} ops",
+        16 * cycles
+    );
+}
+
+#[test]
 fn consumer_drop_unblocks_a_full_producer() {
     let (tx, rx) = ring::<u32>(1);
     assert!(matches!(tx.try_push(7), TryPush::Pushed));

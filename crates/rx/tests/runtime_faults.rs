@@ -36,35 +36,43 @@ fn silence_captures(n: usize) -> Vec<Vec<Iq>> {
 
 #[test]
 fn a_panicking_stage_fails_the_run_with_its_name() {
-    // Every stage, panicking mid-stream: the run must return (no hang,
-    // bounded by the generous timeout of the test harness itself) with
-    // an error naming the faulty stage, and the already-buffered
-    // captures must not deadlock the teardown.
-    for stage in [
-        StageKind::Sync,
-        StageKind::Detect,
-        StageKind::Decode,
-        StageKind::Sic,
-    ] {
-        let mut flow = flowgraph(Scheduler::ThreadPerStage);
-        flow.inject_panic(stage, 2);
-        let source = CaptureSource::single_stream(512, silence_captures(6));
-        let started = Instant::now();
-        let err = flow.run(source).expect_err("injected panic must surface");
-        assert!(
-            err.message.contains(stage.name()),
-            "{stage:?}: error {:?} does not name the stage",
-            err.message
-        );
-        assert!(
-            err.message.contains("injected fault"),
-            "{stage:?}: error {:?} lost the panic payload",
-            err.message
-        );
-        assert!(
-            started.elapsed() < Duration::from_secs(30),
-            "{stage:?}: teardown took implausibly long"
-        );
+    // Every stage, panicking mid-stream, under every threaded scheduler:
+    // the run must return (no hang — a worker pool with parked idle
+    // workers must wake them for teardown) with an error naming the
+    // faulty stage, and the already-buffered captures must not deadlock
+    // the teardown.
+    let schedulers = [
+        Scheduler::ThreadPerStage,
+        Scheduler::WorkStealing { workers: 1, pin: false },
+        Scheduler::WorkStealing { workers: 4, pin: false },
+    ];
+    for scheduler in schedulers {
+        for stage in [
+            StageKind::Sync,
+            StageKind::Detect,
+            StageKind::Decode,
+            StageKind::Sic,
+        ] {
+            let mut flow = flowgraph(scheduler);
+            flow.inject_panic(stage, 2);
+            let source = CaptureSource::single_stream(512, silence_captures(6));
+            let started = Instant::now();
+            let err = flow.run(source).expect_err("injected panic must surface");
+            assert!(
+                err.message.contains(stage.name()),
+                "{scheduler:?} {stage:?}: error {:?} does not name the stage",
+                err.message
+            );
+            assert!(
+                err.message.contains("injected fault"),
+                "{scheduler:?} {stage:?}: error {:?} lost the panic payload",
+                err.message
+            );
+            assert!(
+                started.elapsed() < Duration::from_secs(30),
+                "{scheduler:?} {stage:?}: teardown took implausibly long"
+            );
+        }
     }
 }
 
@@ -88,18 +96,26 @@ fn inline_scheduler_propagates_the_panic() {
 
 #[test]
 fn a_failed_flowgraph_can_run_again() {
-    let mut flow = flowgraph(Scheduler::ThreadPerStage);
-    flow.inject_panic(StageKind::Detect, 0);
-    let source = CaptureSource::single_stream(512, silence_captures(2));
-    flow.run(source).expect_err("first run fails");
+    // Injected faults are armed for exactly one run: after the failed
+    // run, the *same* flowgraph drains normally, proving teardown left
+    // no poisoned rings, stuck workers, or stale sync state behind.
+    let schedulers = [
+        Scheduler::ThreadPerStage,
+        Scheduler::WorkStealing { workers: 2, pin: false },
+    ];
+    for scheduler in schedulers {
+        let mut flow = flowgraph(scheduler);
+        flow.inject_panic(StageKind::Detect, 0);
+        let source = CaptureSource::single_stream(512, silence_captures(2));
+        flow.run(source)
+            .expect_err(&format!("{scheduler:?}: first run fails"));
 
-    // Clearing the fault: a fresh run over the same flowgraph drains
-    // normally, proving teardown left no poisoned state behind.
-    let mut flow2 = flowgraph(Scheduler::ThreadPerStage);
-    let source = CaptureSource::single_stream(512, silence_captures(2));
-    let output = flow2.run(source).expect("clean run succeeds");
-    assert_eq!(output.results.len(), 2);
-    drop(flow);
+        let source = CaptureSource::single_stream(512, silence_captures(2));
+        let output = flow
+            .run(source)
+            .unwrap_or_else(|e| panic!("{scheduler:?}: rerun after failure: {e}"));
+        assert_eq!(output.results.len(), 2, "{scheduler:?}");
+    }
 }
 
 #[test]
@@ -107,34 +123,42 @@ fn a_stalled_sink_applies_backpressure_not_buffering() {
     // The sink sleeps on every result. The source would love to race
     // ahead, but each ring holds at most `ring_capacity` entries, so
     // total in-flight work stays bounded no matter how slow the
-    // downstream is — that is the whole point of bounded rings.
-    let captures = 8;
-    let mut flow = flowgraph(Scheduler::ThreadPerStage);
-    let source = CaptureSource::single_stream(512, silence_captures(captures));
-    let mut seen = Vec::new();
-    let stats = flow
-        .run_with_sink(source, |result| {
-            std::thread::sleep(Duration::from_millis(15));
-            seen.push(result.seq);
-        })
-        .expect("stalled sink is slow, not broken");
-    assert_eq!(seen, (0..captures as u64).collect::<Vec<_>>());
-    assert_eq!(stats.captures, captures as u64);
-    let capacity = flow.runtime_config().ring_capacity;
-    assert_eq!(stats.ring_max_depth.len(), 5);
-    for (i, &depth) in stats.ring_max_depth.iter().enumerate() {
+    // downstream is — that is the whole point of bounded rings. Under
+    // work-stealing the stall additionally must not *block* a worker:
+    // the stage task just goes unready until the sink drains.
+    let schedulers = [
+        Scheduler::ThreadPerStage,
+        Scheduler::WorkStealing { workers: 2, pin: false },
+    ];
+    for scheduler in schedulers {
+        let captures = 8;
+        let mut flow = flowgraph(scheduler);
+        let source = CaptureSource::single_stream(512, silence_captures(captures));
+        let mut seen = Vec::new();
+        let stats = flow
+            .run_with_sink(source, |result| {
+                std::thread::sleep(Duration::from_millis(15));
+                seen.push(result.seq);
+            })
+            .expect("stalled sink is slow, not broken");
+        assert_eq!(seen, (0..captures as u64).collect::<Vec<_>>(), "{scheduler:?}");
+        assert_eq!(stats.captures, captures as u64, "{scheduler:?}");
+        let capacity = flow.runtime_config().ring_capacity;
+        assert_eq!(stats.ring_max_depth.len(), 5, "{scheduler:?}");
+        for (i, &depth) in stats.ring_max_depth.iter().enumerate() {
+            assert!(
+                depth <= capacity,
+                "{scheduler:?}: ring {i} reached depth {depth} > capacity {capacity}"
+            );
+        }
+        // Backpressure reached all the way upstream: with a stalled sink
+        // the rings actually fill.
         assert!(
-            depth <= capacity,
-            "ring {i} reached depth {depth} > capacity {capacity}"
+            stats.ring_max_depth.iter().any(|&d| d > 0),
+            "{scheduler:?}: no ring ever held an item: {:?}",
+            stats.ring_max_depth
         );
     }
-    // Backpressure reached all the way upstream: with a stalled sink the
-    // rings actually fill.
-    assert!(
-        stats.ring_max_depth.iter().any(|&d| d > 0),
-        "no ring ever held an item: {:?}",
-        stats.ring_max_depth
-    );
 }
 
 #[test]
@@ -147,7 +171,12 @@ fn shutdown_drains_every_capture_in_order() {
         .iter()
         .map(|c| c.len().div_ceil(512) as u64)
         .sum();
-    for scheduler in [Scheduler::Inline, Scheduler::ThreadPerStage] {
+    let schedulers = [
+        Scheduler::Inline,
+        Scheduler::ThreadPerStage,
+        Scheduler::WorkStealing { workers: 2, pin: false },
+    ];
+    for scheduler in schedulers {
         let mut flow = flowgraph(scheduler);
         let source = CaptureSource::single_stream(512, captures.clone());
         let output = flow.run(source).unwrap();

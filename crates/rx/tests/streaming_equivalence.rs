@@ -83,7 +83,17 @@ fn assert_streaming_matches(config: ReceiverConfig, label: &str) {
     let expected = monolithic_reports(&codes, phy, config, &captures);
     let whole: usize = captures.iter().map(Vec::len).max().unwrap();
 
-    for scheduler in [Scheduler::Inline, Scheduler::ThreadPerStage] {
+    let schedulers = [
+        Scheduler::Inline,
+        Scheduler::ThreadPerStage,
+        // Work-stealing at a degenerate pool, a small pool, a pool wider
+        // than the stage count, and auto-sized (one worker per CPU).
+        Scheduler::WorkStealing { workers: 1, pin: false },
+        Scheduler::WorkStealing { workers: 2, pin: false },
+        Scheduler::WorkStealing { workers: 4, pin: false },
+        Scheduler::WorkStealing { workers: 0, pin: false },
+    ];
+    for scheduler in schedulers {
         for block_size in [1usize, 257, 1024, whole] {
             let runtime = RuntimeConfig {
                 block_size,
@@ -143,28 +153,69 @@ fn multi_stream_interleaving_preserves_per_stream_order_and_decisions() {
         .map(|caps| monolithic_reports(&codes, phy, config, caps))
         .collect();
 
-    let mut source = CaptureSource::new(389);
-    for (stream, caps) in per_stream.iter().enumerate() {
-        for cap in caps {
-            source.push(stream, cap.clone());
+    let schedulers = [
+        Scheduler::ThreadPerStage,
+        Scheduler::WorkStealing { workers: 1, pin: false },
+        Scheduler::WorkStealing { workers: 3, pin: false },
+    ];
+    for scheduler in schedulers {
+        let mut source = CaptureSource::new(389);
+        for (stream, caps) in per_stream.iter().enumerate() {
+            for cap in caps {
+                source.push(stream, cap.clone());
+            }
         }
-    }
-    let runtime = RuntimeConfig {
-        block_size: 389,
-        ring_capacity: 2,
-        scheduler: Scheduler::ThreadPerStage,
-    };
-    let mut flow = RxFlowgraph::new(codes, phy, config, runtime);
-    let output = flow.run(source).unwrap();
+        let runtime = RuntimeConfig {
+            block_size: 389,
+            ring_capacity: 2,
+            scheduler,
+        };
+        let mut flow = RxFlowgraph::new(codes.clone(), phy, config, runtime);
+        let output = flow.run(source).unwrap();
 
-    let mut got: Vec<Vec<RxReport>> = vec![Vec::new(); per_stream.len()];
-    let mut next_seq = vec![0u64; per_stream.len()];
-    for result in output.results {
-        assert_eq!(result.seq, next_seq[result.stream], "in-order emission");
-        next_seq[result.stream] += 1;
-        got[result.stream].push(result.report);
+        let mut got: Vec<Vec<RxReport>> = vec![Vec::new(); per_stream.len()];
+        let mut next_seq = vec![0u64; per_stream.len()];
+        for result in output.results {
+            assert_eq!(
+                result.seq, next_seq[result.stream],
+                "{scheduler:?}: in-order emission"
+            );
+            next_seq[result.stream] += 1;
+            got[result.stream].push(result.report);
+        }
+        assert_eq!(got, expected, "{scheduler:?}");
     }
-    assert_eq!(got, expected);
+}
+
+#[test]
+fn pinned_workers_match_unpinned_decisions() {
+    // CPU affinity is a placement hint; it must never change a decision.
+    // (On machines with fewer CPUs than workers the pin silently wraps —
+    // also decision-neutral.)
+    let phy = PhyProfile::paper_default();
+    let codes = GoldFamily::new(5).unwrap().codes(3).unwrap();
+    let config = ReceiverConfig::default();
+    let captures = capture_set(&codes, &phy);
+
+    let mut reports = Vec::new();
+    for pin in [false, true] {
+        let runtime = RuntimeConfig {
+            block_size: 701,
+            ring_capacity: 2,
+            scheduler: Scheduler::WorkStealing { workers: 2, pin },
+        };
+        let mut flow = RxFlowgraph::new(codes.clone(), phy, config, runtime);
+        let source = CaptureSource::single_stream(701, captures.clone());
+        let output = flow.run(source).unwrap();
+        reports.push(
+            output
+                .results
+                .into_iter()
+                .map(|r| (r.stream, r.seq, r.report))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(reports[0], reports[1], "pin changed a decision");
 }
 
 #[test]

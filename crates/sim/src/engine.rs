@@ -705,6 +705,12 @@ impl Engine {
         if let Some(tracer) = &self.tracer {
             flow.attach_tracer(tracer);
         }
+        // The work-stealing scheduler multiplexes independent streams
+        // over its pool: give each round of a batch its own stream so
+        // the pool has real cross-capture parallelism. The
+        // single-pipeline schedulers keep every round on stream 0
+        // (their results arrive strictly in push order).
+        let spread = matches!(cfg.scheduler, Scheduler::WorkStealing { .. });
         let mut done = 0;
         while done < n {
             let width = cfg.width.max(1).min(n - done);
@@ -740,7 +746,8 @@ impl Engine {
                         tag.set_position(next);
                     }
                 }
-                source.push(0, iq.clone());
+                let stream = if spread { pending.len() } else { 0 };
+                source.push(stream, iq.clone());
                 pending.push(PendingRound {
                     round,
                     start,
@@ -754,7 +761,14 @@ impl Engine {
             let output = flow
                 .run(source)
                 .unwrap_or_else(|e| panic!("streaming round batch: {e}"));
-            for (mut p, result) in pending.into_iter().zip(output.results) {
+            let mut results = output.results;
+            if spread {
+                // One capture per stream, stream = batch index: sorting
+                // by stream restores round order (settling order
+                // matters — gauges keep the last value).
+                results.sort_by_key(|r| (r.stream, r.seq));
+            }
+            for (mut p, result) in pending.into_iter().zip(results) {
                 // Mirror `Receiver::receive`'s metric recording so the
                 // streaming path feeds the same `cbma.rx.*` series.
                 self.receiver.record_report_metrics(&result.report);

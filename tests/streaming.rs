@@ -45,6 +45,27 @@ fn streaming_manifests_match_the_round_synchronous_engine() {
             ring_capacity: 1,
             scheduler: Scheduler::ThreadPerStage,
         },
+        // Work-stealing spreads each batch over per-round streams, so
+        // these also prove the multi-stream path (and the placement
+        // metrics it emits) leaves no fingerprint in the manifest.
+        StreamingConfig {
+            width: 4,
+            block_size: 1024,
+            ring_capacity: 2,
+            scheduler: Scheduler::WorkStealing { workers: 2, pin: false },
+        },
+        StreamingConfig {
+            width: 8,
+            block_size: 4096,
+            ring_capacity: 4,
+            scheduler: Scheduler::WorkStealing { workers: 4, pin: false },
+        },
+        StreamingConfig {
+            width: 6,
+            block_size: 777,
+            ring_capacity: 1,
+            scheduler: Scheduler::WorkStealing { workers: 1, pin: false },
+        },
     ];
     for shape in shapes {
         let manifest = run_campaign(&campaign, &cfg(Some(shape))).unwrap().to_json();
